@@ -1,0 +1,30 @@
+# Convenience targets for the compass reproduction.
+
+.PHONY: install test bench bench-tables examples datasheet floorplan all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-tables:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+		echo; \
+	done
+
+datasheet:
+	python -m repro datasheet
+
+floorplan:
+	python -m repro floorplan
+
+all: install test bench

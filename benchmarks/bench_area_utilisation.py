@@ -1,0 +1,47 @@
+"""AREA1 — Sea-of-Gates occupancy (§2, Figure 2).
+
+"The digital part of the integrated compass occupies 3 quarters fully
+and the analogue part 1 quarter for less than 15%."  On "a single
+Sea-of-Gates array of 200k transistors" (Abstract).
+
+This bench builds the gate-accurate netlist, maps it with the documented
+personalisation efficiencies, places it on the fishbone array, and
+prints the per-quarter utilisation — the floorplan numbers of Figure 2.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.soc.netlist import CompassNetlist
+from repro.soc.sea_of_gates import PAIRS_PER_QUARTER
+
+
+def run_placement():
+    netlist = CompassNetlist()
+    array = netlist.place()
+    return netlist, array
+
+
+def test_area1_quarter_utilisation(benchmark):
+    netlist, array = benchmark(run_placement)
+
+    rows = ["block raw-pair inventory:"]
+    for name, raw in sorted(netlist.raw_pair_summary().items(), key=lambda kv: -kv[1]):
+        rows.append(f"  {name:<18} {raw:6d} raw pairs")
+    rows.append("")
+    rows.append(f"{'quarter':>8} {'supply':>9} {'utilisation':>12}")
+    for index, (supply, utilisation) in array.utilisation_report().items():
+        rows.append(f"{index:8d} {supply:>9} {utilisation:12.1%}")
+    digital_quarters = netlist.digital_pairs() / PAIRS_PER_QUARTER
+    analog_fraction = netlist.analog_pairs() / PAIRS_PER_QUARTER
+    rows.append("")
+    rows.append(f"digital total : {digital_quarters:.2f} quarters "
+                "(paper: 'occupies 3 quarters fully')")
+    rows.append(f"analog total  : {analog_fraction:.1%} of one quarter "
+                "(paper: 'less than 15%')")
+    emit("AREA1 fishbone SoG occupancy", rows)
+
+    assert array.total_transistors == 200_000
+    assert 2.7 <= digital_quarters <= 3.0
+    assert analog_fraction < 0.15
+    assert array.quarters_fully_used_by("digital", threshold=0.90) == 3

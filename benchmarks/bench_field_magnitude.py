@@ -1,0 +1,42 @@
+"""MAG1 — insensitivity to the earth-field magnitude (§4).
+
+"The calculation method is insensitive to local variations of the
+magnitude of the earths magnetic field, which is necessary since the
+magnitude varies between 25µT in south America and 65µT near the south
+pole."
+
+This bench sweeps the horizontal field magnitude across (and slightly
+beyond) the paper's worldwide range and reports the heading-error
+statistics at each point.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.accuracy import magnitude_sweep
+from repro.core.compass import IntegratedCompass
+
+
+def run_magnitude_sweep():
+    compass = IntegratedCompass()
+    magnitudes = [25e-6, 35e-6, 45e-6, 55e-6, 65e-6]
+    return magnitude_sweep(compass, magnitudes, n_headings=16)
+
+
+def test_mag1_field_magnitude_insensitivity(benchmark):
+    results = benchmark(run_magnitude_sweep)
+
+    rows = [f"{'|B| µT':>8} {'max err °':>10} {'rms err °':>10}"]
+    for magnitude, stats in results:
+        rows.append(
+            f"{magnitude * 1e6:8.0f} {stats.max_error:10.3f} {stats.rms_error:10.3f}"
+        )
+    emit("MAG1 heading error vs field magnitude (25…65 µT)", rows)
+
+    for magnitude, stats in results:
+        assert stats.meets(1.0), f"budget broken at {magnitude * 1e6:.0f} µT"
+
+    # Insensitivity also means no trend: the error at 65 µT is not
+    # meaningfully worse than at 45 µT.
+    by_magnitude = {round(m * 1e6): s for m, s in results}
+    assert by_magnitude[65].max_error < by_magnitude[45].max_error + 0.3

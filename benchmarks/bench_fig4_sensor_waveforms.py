@@ -1,0 +1,70 @@
+"""FIG4 — real fluxgate sensor waveforms (paper Figure 4).
+
+Figure 4 shows the discrete miniaturised sensor driven with 12 mA pp at
+8 kHz: pickup voltage without and with an applied field (visible pulse
+shift) and the excitation-coil voltage changing impedance at saturation.
+This bench reproduces the scope numbers: pulse peak amplitudes, the
+pulse shift, and the saturated/unsaturated coil-voltage contrast.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.analog.excitation import ExcitationSource
+from repro.sensors.fluxgate import FluxgateSensor
+from repro.sensors.parameters import DISCRETE_MINIATURE
+from repro.simulation.engine import TimeGrid
+from repro.simulation.signals import find_pulses
+from repro.units import H_EARTH_NOMINAL
+
+
+def run_fig4():
+    sensor = FluxgateSensor(DISCRETE_MINIATURE)
+    grid = TimeGrid(n_periods=4)
+    current = ExcitationSource().current(
+        grid, "x", DISCRETE_MINIATURE.series_resistance
+    )
+    threshold = 0.3 * sensor.peak_pickup_voltage(6e-3, grid.frequency_hz)
+
+    measurements = {}
+    for label, h_ext in (("no field", 0.0), ("field applied", H_EARTH_NOMINAL)):
+        waves = sensor.simulate(current, h_ext)
+        pulses = find_pulses(waves.pickup_voltage, threshold)
+        positive = [p for p in pulses if p.polarity > 0]
+        resistive = current.scaled(DISCRETE_MINIATURE.series_resistance)
+        excess = np.abs(waves.excitation_voltage.v - resistive.v)
+        h = waves.core_field.v
+        hk = DISCRETE_MINIATURE.core.anisotropy_field
+        unsat = excess[np.abs(h) < 0.2 * hk].max()
+        sat = excess[np.abs(h) > 1.8 * hk].max()
+        measurements[label] = {
+            "pulse_peak_mV": positive[0].peak * 1e3,
+            "first_pulse_us": positive[0].time * 1e6,
+            "exc_pp_V": waves.excitation_voltage.peak_to_peak(),
+            "impedance_contrast": unsat / sat,
+        }
+    return measurements
+
+
+def test_fig4_sensor_waveforms(benchmark):
+    m = benchmark(run_fig4)
+    rows = [f"{'condition':<16} {'pulse mV':>9} {'pulse t µs':>11} "
+            f"{'exc pp V':>9} {'L-contrast':>11}"]
+    for label, vals in m.items():
+        rows.append(
+            f"{label:<16} {vals['pulse_peak_mV']:9.1f} "
+            f"{vals['first_pulse_us']:11.2f} {vals['exc_pp_V']:9.2f} "
+            f"{vals['impedance_contrast']:11.1f}"
+        )
+    emit("FIG4 discrete-sensor waveforms (12 mA pp @ 8 kHz)", rows)
+
+    # The paper's qualitative observations, quantitatively:
+    # 1. "The pulse shift is clearly visible."
+    shift = m["field applied"]["first_pulse_us"] - m["no field"]["first_pulse_us"]
+    assert abs(shift) > 0.3  # µs, well above the scope's resolution
+    # 2. "Notice also the change in impedance of the excitation coil,
+    #    when saturation is reached."
+    assert m["no field"]["impedance_contrast"] > 5.0
+    # 3. Pulses are in the ~100 mV/div range of the Figure 4 scope shots.
+    assert 50.0 < m["no field"]["pulse_peak_mV"] < 500.0

@@ -1,0 +1,129 @@
+"""SENS1 — sensor saturation and the best-sensitivity drive point (§2.1.1, §3.1).
+
+Two claims:
+* "Measurements ... showed that it reached saturation at 15 times the
+  magnitude of the earth's magnetic field (HK=10Oe)" — the measured
+  Kaw95 device is unusable at the 12 mA pp drive;
+* "Best sensitivity is obtained when the applied magnetic field is twice
+  the saturation field."
+
+The second claim is a design trade-off, reproduced here by sweeping the
+*drive amplitude* on a fixed sensor: the duty-cycle sensitivity falls as
+``1/(2·Ha)`` with drive, so the most sensitive operating point is the
+**lowest** drive — but below ~2×HK the pulse tails clip against the ramp
+turnarounds at earth-field-scale inputs and the estimate collapses.  The
+best-sensitivity point is therefore the smallest robust drive, ≈ 2×HK.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.analog.comparator import PickupAmplifier
+from repro.analog.excitation import ExcitationSettings, ExcitationSource
+from repro.analog.pulse_detector import PulsePositionDetector
+from repro.errors import ConfigurationError
+from repro.sensors.fluxgate import FluxgateSensor
+from repro.sensors.parameters import IDEAL_TARGET, MICROMACHINED_KAW95
+from repro.simulation.engine import TimeGrid
+
+#: Earth-field-scale test input [A/m] (≈ 50 µT horizontal).
+H_TEST = 40.0
+
+
+def run_drive_amplitude_sweep():
+    grid = TimeGrid(n_periods=4)
+    amplifier = PickupAmplifier()
+    detector = PulsePositionDetector()
+    sensor = FluxgateSensor(IDEAL_TARGET)
+    hk = IDEAL_TARGET.core.anisotropy_field
+    coil = IDEAL_TARGET.excitation_coil_constant
+
+    rows = [f"{'drive/HK':>9} {'pp mA':>7} {'pulses':>7} "
+            f"{'sens 1/(A/m)':>13} {'est err A/m':>12}"]
+    results = {}
+    for ratio in (0.5, 0.9, 1.2, 1.5, 2.0, 2.5, 3.5, 5.0):
+        amplitude = ratio * hk / coil
+        source = ExcitationSource(ExcitationSettings(current_pp=2 * amplitude))
+        current = source.current(grid, "x", IDEAL_TARGET.series_resistance)
+        try:
+            duty_0 = detector.detect(
+                amplifier.amplify(sensor.simulate(current, 0.0).pickup_voltage)
+            ).duty_cycle()
+            duty_h = detector.detect(
+                amplifier.amplify(sensor.simulate(current, H_TEST).pickup_voltage)
+            ).duty_cycle()
+            sensitivity = (duty_h - duty_0) / H_TEST
+            estimate = sensor.field_from_duty_cycle(duty_h, amplitude)
+            error = abs(estimate - H_TEST)
+            rows.append(
+                f"{ratio:9.2f} {2e3 * amplitude:7.2f} {'yes':>7} "
+                f"{sensitivity:13.6f} {error:12.3f}"
+            )
+            results[ratio] = (sensitivity, error)
+        except ConfigurationError:
+            rows.append(
+                f"{ratio:9.2f} {2e3 * amplitude:7.2f} {'NONE':>7} "
+                f"{'-':>13} {'-':>12}"
+            )
+            results[ratio] = None
+    return rows, results
+
+
+def test_sens1_drive_amplitude(benchmark):
+    rows, results = benchmark(run_drive_amplitude_sweep)
+    emit("SENS1 drive-amplitude sweep (best sensitivity near 2×HK)", rows)
+
+    # Below saturation: no pulses at all (the Kaw95 situation).
+    assert results[0.5] is None
+    assert results[0.9] is None
+    working = {k: v for k, v in results.items() if v is not None}
+
+    # Electrical sensitivity falls as 1/(2·Ha): monotone in drive ratio.
+    usable = [r for r in (2.0, 2.5, 3.5, 5.0)]
+    sens = [working[r][0] for r in usable]
+    assert all(a > b for a, b in zip(sens, sens[1:]))
+    assert working[2.0][0] == pytest.approx(
+        working[5.0][0] * 2.5, rel=0.1
+    )  # 1/(2·Ha) scaling
+
+    # Below ~2×HK the earth-scale input clips: the estimate collapses.
+    low_ratio_errors = {r: working[r][1] for r in (1.2, 1.5) if r in working}
+    assert all(err > 3.0 for err in low_ratio_errors.values())
+
+    # The paper's point: 2×HK is the lowest drive that measures the full
+    # earth-field range accurately — and hence the most sensitive one.
+    assert working[2.0][1] < 1.0
+    best = min(
+        (r for r, v in working.items() if v[1] < 1.0),
+        key=lambda r: -working[r][0],
+    )
+    assert best == 2.0
+
+
+def test_sens1_measured_kaw95_unusable(benchmark):
+    def run_kaw95():
+        grid = TimeGrid(n_periods=4)
+        sensor = FluxgateSensor(MICROMACHINED_KAW95)
+        current = ExcitationSource().current(
+            grid, "x", MICROMACHINED_KAW95.series_resistance
+        )
+        waves = sensor.simulate(current, 0.0)
+        peak = float(np.max(np.abs(waves.pickup_voltage.v)))
+        ratio = MICROMACHINED_KAW95.drive_ratio(6e-3)
+        return peak, ratio
+
+    peak, ratio = benchmark(run_kaw95)
+    emit(
+        "SENS1 measured Kaw95 sensor at the paper's drive",
+        [
+            f"drive ratio          : {ratio:.2f} x HK  (needs > 1)",
+            f"peak pickup voltage  : {peak * 1e3:.3f} mV (no saturation pulses)",
+            "conclusion           : matches §2.1.1 — 'for the time being, a",
+            "                       discrete miniaturised fluxgate sensor",
+            "                       has been used'",
+        ],
+    )
+    assert ratio < 1.0
+    ideal_peak = FluxgateSensor(IDEAL_TARGET).peak_pickup_voltage(6e-3, 8000.0)
+    assert peak < 0.2 * ideal_peak

@@ -1,0 +1,59 @@
+"""TEMP1 — heading stability over the consumer temperature range.
+
+Extension experiment: sweeps −20…+60 °C with standard material drift
+coefficients (permalloy HK/Bs, copper coils, film resistor, MOS
+capacitor) and reports the heading shift of a fixed true heading — the
+number a compass-watch datasheet would quote.
+
+The architectural point demonstrated: the pulse-position readout is
+ratiometric (one oscillator, one detector, one counter shared by both
+channels via multiplexing), so common-mode drifts cancel and the heading
+barely moves even though the excitation frequency, drive ratio and pulse
+amplitudes all drift.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.physics.thermal import compass_config_at_temperature
+
+
+def run_temperature_sweep():
+    temperatures = (-20.0, 0.0, 25.0, 40.0, 60.0)
+    headings = (45.0, 137.0, 280.0)
+    rows = [f"{'T °C':>6}" + "".join(f"  err@{h:.0f}° " for h in headings)
+            + f" {'drive/HK':>9} {'f_exc Hz':>9}"]
+    results = {}
+    for temperature in temperatures:
+        config = compass_config_at_temperature(CompassConfig(), temperature)
+        compass = IntegratedCompass(config)
+        errors = []
+        for heading in headings:
+            m = compass.measure_heading(heading)
+            err = (m.heading_deg - heading + 180.0) % 360.0 - 180.0
+            errors.append(err)
+        ratio = config.sensor.drive_ratio(6e-3)
+        freq = config.front_end.excitation.oscillator.frequency_hz
+        rows.append(
+            f"{temperature:6.0f}"
+            + "".join(f" {e:8.3f} " for e in errors)
+            + f" {ratio:9.3f} {freq:9.1f}"
+        )
+        results[temperature] = errors
+    return rows, results
+
+
+def test_temp1_temperature_stability(benchmark):
+    rows, results = benchmark(run_temperature_sweep)
+    emit("TEMP1 heading error vs temperature (−20…60 °C)", rows)
+
+    # Accuracy budget holds at every temperature.
+    for temperature, errors in results.items():
+        for err in errors:
+            assert abs(err) < 1.0, f"budget broken at {temperature} °C"
+    # The cold-to-hot heading *shift* (what a user would notice) stays
+    # well inside the budget.
+    for i in range(3):
+        shift = abs(results[60.0][i] - results[-20.0][i])
+        assert shift < 0.5

@@ -1,0 +1,48 @@
+"""TIME1 — static timing closure at the 4.194304 MHz clock.
+
+Extension experiment: the paper runs its whole digital section, CORDIC
+included, at the counter clock.  This bench performs the static timing
+analysis the original Compass-tools flow would have signed off: every
+modelled register-to-register path against the 238 ns period on a 1 µm
+Sea-of-Gates process, plus the headroom question (what clock *would*
+break the design).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.soc.timing import (
+    analyse_chip,
+    cordic_iteration_path,
+    max_clock_hz,
+)
+from repro.units import COUNTER_CLOCK_HZ
+
+
+def run_timing():
+    reports = analyse_chip()
+    rows = [f"{'path':<38} {'delay ns':>9} {'slack ns':>9} {'status':>9}"]
+    for report in reports:
+        rows.append(
+            f"{report.name:<38} {report.delay_ns:9.2f} "
+            f"{report.slack_ns:9.2f} {'MET' if report.closes else 'VIOLATED':>9}"
+        )
+    critical = reports[0]
+    headroom = max_clock_hz(critical) / COUNTER_CLOCK_HZ
+    rows.append("")
+    rows.append(f"critical path   : {critical.name}")
+    rows.append(f"max clock       : {max_clock_hz(critical) / 1e6:.2f} MHz "
+                f"({headroom:.1f}× the design clock)")
+    return rows, reports, headroom
+
+
+def test_time1_closure(benchmark):
+    rows, reports, headroom = benchmark(run_timing)
+    emit("TIME1 static timing at 4.194304 MHz (1 µm SoG)", rows)
+
+    # Everything closes at the paper's clock...
+    assert all(report.closes for report in reports)
+    # ...with real headroom (the ripple-carry CORDIC is fine un-pipelined),
+    assert headroom > 2.0
+    # ...but not unlimited: 4× the clock (16.8 MHz) would violate.
+    assert not cordic_iteration_path(clock_hz=4 * COUNTER_CLOCK_HZ).closes

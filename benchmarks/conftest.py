@@ -1,0 +1,22 @@
+"""Shared helpers for the experiment benches.
+
+Each bench regenerates one figure/claim of the paper (see DESIGN.md §4
+for the experiment index) and prints the rows/series the paper reports.
+Run with output visible:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def emit(experiment_id: str, lines) -> None:
+    """Print one experiment's table with a recognisable banner."""
+    banner = f"===== {experiment_id} " + "=" * max(1, 60 - len(experiment_id))
+    print()
+    print(banner)
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    for line in lines:
+        print(line)
+    print("=" * len(banner))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compass-watch demo: the complete consumer device of the paper.
+
+§4: "The digital part contains also common watch options as added
+features.  The display driver selects either the direction or the time
+to display."  This example simulates a hiking scenario: the watch keeps
+time continuously, the wearer occasionally presses the mode button and
+takes a bearing, the alarm fires at the turn-around time, and the power
+model reports what the battery sees.
+
+Run:
+    python examples/compass_watch_demo.py
+"""
+
+from repro import IntegratedCompass
+from repro.core.power import PowerModel
+from repro.digital.display import DisplayMode
+
+
+def show(compass: IntegratedCompass, label: str) -> None:
+    frame = compass.read_display()
+    colon = ":" if frame.colon else " "
+    text = frame.text
+    rendered = f"{text[:2]}{colon}{text[2:]}" if compass.back_end.display.mode is DisplayMode.TIME else text
+    print(f"  [{rendered:>5}]  {label}")
+
+
+def main() -> None:
+    compass = IntegratedCompass()
+    watch = compass.back_end.watch
+
+    print("Compass watch — a morning hike")
+    print()
+
+    compass.set_time(8, 30, 0)
+    watch.set_alarm(11, 0)
+    compass.select_display(DisplayMode.TIME)
+    show(compass, "departure; alarm set for 11:00 (turn-around)")
+
+    # Walk for 40 minutes.
+    watch.advance_seconds(40 * 60)
+    show(compass, "40 minutes in")
+
+    # Take a bearing at the trail fork.
+    compass.select_display(DisplayMode.DIRECTION)
+    measurement = compass.measure_heading(58.0)
+    show(compass, f"bearing at the fork (true 58.0°, "
+                  f"measured {measurement.heading_deg:.2f}°)")
+
+    # Time the river crossing with the stopwatch.
+    watch.stopwatch.start()
+    watch.advance_seconds(95)
+    watch.stopwatch.stop()
+    print(f"  river crossing took {watch.stopwatch.elapsed_seconds:.0f} s "
+          f"({watch.stopwatch.centiseconds} cs on the display)")
+
+    # Keep walking until the alarm fires.
+    compass.select_display(DisplayMode.TIME)
+    watch.advance_seconds(2 * 3600)
+    show(compass, f"alarm fired: {watch.alarm_fired} — time to turn around")
+
+    # Take the return bearing.
+    compass.select_display(DisplayMode.DIRECTION)
+    back = compass.measure_heading(58.0 + 180.0)
+    show(compass, f"reciprocal bearing {back.heading_deg:.2f}° "
+                  f"(expected {58.0 + 180.0:.1f}°)")
+
+    # What does all this cost the battery?
+    print()
+    report = PowerModel().gated(repetition_period=1.0)
+    print("average power at one heading per second:")
+    print(report.as_table())
+
+
+if __name__ == "__main__":
+    main()

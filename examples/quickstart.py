@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: measure a heading with the integrated compass.
+
+Builds the paper's default design point (ideal-target fluxgate pair,
+12 mA pp / 8 kHz triangular excitation, pulse-position detection,
+4.194304 MHz up-down counter, 8-iteration CORDIC) and runs one complete
+measurement per compass point.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import IntegratedCompass
+
+
+def main() -> None:
+    compass = IntegratedCompass()
+
+    print("Integrated compass (Tangelder et al., DATE'97) — quickstart")
+    print(f"update rate: {compass.update_rate_hz():.0f} headings/s")
+    print(f"counter full scale: {compass.count_full_scale()} ticks")
+    print()
+    print(f"{'true':>8} {'measured':>10} {'error':>7} {'x_count':>8} "
+          f"{'y_count':>8} {'point':>6} {'LCD':>5}")
+
+    for true_heading in (0.0, 45.0, 97.3, 180.0, 222.5, 301.7):
+        m = compass.measure_heading(true_heading, field_magnitude_t=50e-6)
+        frame = compass.read_display()
+        print(
+            f"{true_heading:8.1f} {m.heading_deg:10.3f} "
+            f"{m.error_against(true_heading):7.3f} {m.x_count:8d} "
+            f"{m.y_count:8d} {m.cardinal:>6} {frame.text:>5}"
+        )
+
+    print()
+    print("every measurement used", m.cordic_cycles, "CORDIC cycles "
+          "and took", f"{m.measurement_time_s * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""VCD waveform dump: inspect one measurement in GTKWave.
+
+Runs a single x-channel measurement and dumps every interesting signal
+to a value-change-dump file — the pickup voltage, the amplified signal,
+the pulse-position latch, the counter value over time and the RTL
+CORDIC's internal registers per clock cycle.
+
+Run:
+    python examples/vcd_waveform_dump.py [output.vcd]
+"""
+
+import sys
+
+from repro.analog.comparator import PickupAmplifier
+from repro.analog.excitation import ExcitationSource
+from repro.analog.pulse_detector import PulsePositionDetector
+from repro.digital.counter import UpDownCounter
+from repro.rtl.kernel import ClockDomain
+from repro.rtl.modules import RtlCordic
+from repro.sensors.fluxgate import FluxgateSensor
+from repro.sensors.parameters import IDEAL_TARGET
+from repro.simulation.engine import TimeGrid
+from repro.simulation.vcd import VCDWriter
+from repro.units import COUNTER_CLOCK_HZ
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "compass_measurement.vcd"
+
+    # --- analogue measurement -------------------------------------------
+    grid = TimeGrid(n_periods=4)
+    sensor = FluxgateSensor(IDEAL_TARGET)
+    current = ExcitationSource().current(grid, "x", IDEAL_TARGET.series_resistance)
+    waves = sensor.simulate(current, h_external=30.0)
+    amplified = PickupAmplifier().amplify(waves.pickup_voltage)
+    latch = PulsePositionDetector().detect(amplified)
+    count = UpDownCounter().count_window(latch)
+
+    writer = VCDWriter(timescale_ns=10.0, module="compass")
+    writer.record_trace("excitation_mA", current.scaled(1e3))
+    writer.record_trace("pickup_mV", waves.pickup_voltage.scaled(1e3))
+    writer.record_trace("amplified_V", amplified)
+    writer.record_detector("pp_latch", latch)
+
+    # --- counter value sampled per latch edge ----------------------------
+    writer.add_integer("ud_count", width=16)
+    running = 0
+    tick = 1.0 / COUNTER_CLOCK_HZ
+    t_prev, value = latch.window[0], latch.initial_value
+    writer.record(t_prev, "ud_count", 0)
+    for edge in latch.edges:
+        ticks = int(round((edge.time - t_prev) / tick))
+        running += ticks if value else -ticks
+        writer.record(edge.time, "ud_count", running)
+        t_prev, value = edge.time, edge.value
+
+    # --- RTL CORDIC per-cycle registers ----------------------------------
+    cordic = RtlCordic()
+    domain = ClockDomain([cordic])
+    writer.add_integer("cordic_x", width=24)
+    writer.add_integer("cordic_y", width=24)
+    writer.add_integer("cordic_res", width=16)
+    writer.add_wire("cordic_ready")
+    t0 = latch.window[1]  # CORDIC runs after counting finishes
+    cordic.start, cordic.x_in, cordic.y_in = 1, abs(count.count), abs(count.count) // 3
+    for cycle in range(10):
+        t_cycle = t0 + cycle * tick
+        writer.record(t_cycle, "cordic_x", cordic.x_reg.q)
+        writer.record(t_cycle, "cordic_y", cordic.y_reg.q)
+        writer.record(t_cycle, "cordic_res", cordic.res.q)
+        writer.record(t_cycle, "cordic_ready", 1 if cordic.ready else 0)
+        domain.tick()
+        cordic.start = 0
+
+    writer.write(out_path)
+    print(f"measurement: duty={latch.duty_cycle():.4f} count={count.count}")
+    print(f"CORDIC result: {cordic.result_degrees:.3f} deg in 8 cycles")
+    print(f"wrote {out_path} — open with `gtkwave {out_path}`")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — behavioural reproduction of the DATE'97 integrated fluxgate compass.
+
+Tangelder, Diemel, Kerkhoff, *Smart Sensor System Application: An
+Integrated Compass*, ED&TC/DATE 1997.
+
+The package mirrors the paper's system decomposition:
+
+* :mod:`repro.physics` — earth-field, core magnetics and noise substrates,
+* :mod:`repro.sensors` — micro-machined fluxgate models (§2.1),
+* :mod:`repro.analog` — the analogue front-end (§3),
+* :mod:`repro.digital` — counter, CORDIC, control, watch, display (§4),
+* :mod:`repro.core` — the integrated compass plus accuracy/power analysis,
+* :mod:`repro.soc` — Sea-of-Gates array and MCM resource models (§2),
+* :mod:`repro.btest` — IEEE 1149.1 boundary-scan test structures [Oli96],
+* :mod:`repro.simulation` — the mixed-signal simulation engine (§5).
+
+Quickstart::
+
+    from repro import IntegratedCompass
+    compass = IntegratedCompass()
+    measurement = compass.measure_heading(true_heading_deg=123.0)
+    print(measurement.heading_deg, measurement.cardinal)
+"""
+
+from .core.compass import CompassConfig, IntegratedCompass
+from .core.heading import HeadingMeasurement, compass_point
+from .errors import (
+    CalibrationError,
+    ComplianceError,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    ResourceError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalibrationError",
+    "CompassConfig",
+    "ComplianceError",
+    "ConfigurationError",
+    "HeadingMeasurement",
+    "IntegratedCompass",
+    "ProtocolError",
+    "ReproError",
+    "ResourceError",
+    "compass_point",
+    "__version__",
+]

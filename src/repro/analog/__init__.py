@@ -1,0 +1,41 @@
+"""Analogue front-end: excitation, amplification, pulse-position detection."""
+
+from .comparator import Comparator, ComparatorParameters, PickupAmplifier
+from .excitation import ExcitationSettings, ExcitationSource
+from .frontend import AnalogFrontEnd, ChannelMeasurement, FrontEndConfig
+from .mux import ChannelSlot, MeasurementSchedule, SensorMultiplexer
+from .offset_loop import OffsetServo, ServoHistory, ServoSettings, predicted_residual
+from .pulse_detector import (
+    DetectorOutput,
+    DetectorParameters,
+    LogicEdge,
+    PulsePositionDetector,
+)
+from .vi_converter import VIConverter, VIConverterParameters
+from .waveform import OscillatorParameters, TriangularWaveformGenerator
+
+__all__ = [
+    "AnalogFrontEnd",
+    "ChannelMeasurement",
+    "ChannelSlot",
+    "Comparator",
+    "ComparatorParameters",
+    "DetectorOutput",
+    "DetectorParameters",
+    "ExcitationSettings",
+    "ExcitationSource",
+    "FrontEndConfig",
+    "LogicEdge",
+    "MeasurementSchedule",
+    "OffsetServo",
+    "ServoHistory",
+    "ServoSettings",
+    "predicted_residual",
+    "OscillatorParameters",
+    "PickupAmplifier",
+    "PulsePositionDetector",
+    "SensorMultiplexer",
+    "TriangularWaveformGenerator",
+    "VIConverter",
+    "VIConverterParameters",
+]

@@ -1,0 +1,126 @@
+"""Sensor multiplexing (§2 and §4).
+
+"The system uses a multiplexing technique by exciting one sensor at a
+time.  This reduces both momental power consumption and chip area since
+only one oscillator is needed."  The digital control logic "controls the
+multiplexing of the two sensors" (§4).
+
+The multiplexer here is a schedule: which channel is excited during which
+excitation periods, with optional settling periods after each switch
+(discarded by the counter, since the first period after a channel switch
+contains the oscillator's restart transient).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChannelSlot:
+    """One multiplexer time slot.
+
+    Attributes
+    ----------
+    channel:
+        ``"x"`` or ``"y"``.
+    settle_periods:
+        Excitation periods at the start of the slot that the counter must
+        ignore.
+    count_periods:
+        Excitation periods over which the counter integrates.
+    """
+
+    channel: str
+    settle_periods: int
+    count_periods: int
+
+    def __post_init__(self) -> None:
+        if self.channel not in ("x", "y"):
+            raise ConfigurationError(f"unknown channel {self.channel!r}")
+        if self.settle_periods < 0 or self.count_periods < 1:
+            raise ConfigurationError("slot period counts invalid")
+
+    @property
+    def total_periods(self) -> int:
+        return self.settle_periods + self.count_periods
+
+
+@dataclass(frozen=True)
+class MeasurementSchedule:
+    """A full x-then-y measurement cycle.
+
+    Attributes
+    ----------
+    count_periods:
+        Integration periods per channel.
+    settle_periods:
+        Discarded settling periods after each channel switch.
+    """
+
+    count_periods: int = 8
+    settle_periods: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count_periods < 1:
+            raise ConfigurationError("need at least one counting period")
+        if self.settle_periods < 0:
+            raise ConfigurationError("settle periods must be non-negative")
+
+    def slots(self) -> Tuple[ChannelSlot, ChannelSlot]:
+        return (
+            ChannelSlot("x", self.settle_periods, self.count_periods),
+            ChannelSlot("y", self.settle_periods, self.count_periods),
+        )
+
+    @property
+    def total_periods(self) -> int:
+        """Excitation periods per complete heading measurement."""
+        return sum(slot.total_periods for slot in self.slots())
+
+    def measurement_time(self, excitation_frequency_hz: float) -> float:
+        """Wall-clock time of one heading measurement [s]."""
+        if excitation_frequency_hz <= 0.0:
+            raise ConfigurationError("frequency must be positive")
+        return self.total_periods / excitation_frequency_hz
+
+    def update_rate_hz(self, excitation_frequency_hz: float) -> float:
+        """Heading update rate [Hz]."""
+        return 1.0 / self.measurement_time(excitation_frequency_hz)
+
+
+class SensorMultiplexer:
+    """Steers the single oscillator to one sensor channel at a time."""
+
+    def __init__(self, schedule: MeasurementSchedule = MeasurementSchedule()):
+        self.schedule = schedule
+        self._active: str = "x"
+
+    @property
+    def active_channel(self) -> str:
+        return self._active
+
+    def select(self, channel: str) -> None:
+        if channel not in ("x", "y"):
+            raise ConfigurationError(f"unknown channel {channel!r}")
+        self._active = channel
+
+    def cycle(self) -> Iterator[ChannelSlot]:
+        """Iterate the slots of one measurement, switching as we go."""
+        for slot in self.schedule.slots():
+            self.select(slot.channel)
+            yield slot
+
+    def duty_of_channel(self, channel: str) -> float:
+        """Fraction of a measurement cycle a channel's converter is live.
+
+        Feeds the power model: with multiplexing each V-I converter runs
+        only ~half the time, which is the §2 "momental power" saving.
+        """
+        if channel not in ("x", "y"):
+            raise ConfigurationError(f"unknown channel {channel!r}")
+        slot = {s.channel: s for s in self.schedule.slots()}[channel]
+        return slot.total_periods / self.schedule.total_periods

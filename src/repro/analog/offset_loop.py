@@ -1,0 +1,133 @@
+"""The DC-offset correction loop as a dynamic servo (§3.1).
+
+"The linearity of the waveform is not very essential but the dc-offset
+is, and is therefore corrected by measuring the average of the
+excitation current."  :class:`~repro.analog.waveform.OscillatorParameters`
+models the *settled* loop as a static gain division; this module models
+the loop itself — a discrete-time integrator servo:
+
+    trim[n+1] = trim[n] + k · measured_average[n]
+    residual[n] = raw_offset − trim[n]          (k = integrator gain)
+
+which converges as ``residual[n] = raw_offset · (1 − k)ⁿ``:
+
+* ``0 < k < 1`` — smooth exponential convergence,
+* ``k = 1`` — deadbeat (one-period) correction,
+* ``1 < k < 2`` — ringing but stable,
+* ``k ≥ 2`` — unstable (the classic discrete-integrator bound).
+
+The measurement path can be quantised (the control logic measures the
+average with the same counter infrastructure it already has), which
+leaves a steady-state bounded limit cycle of ± half an LSB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServoSettings:
+    """Offset-servo configuration.
+
+    Attributes
+    ----------
+    gain:
+        Integrator gain ``k`` per correction period.
+    quantisation_step:
+        Resolution of the average measurement [same unit as the offset];
+        0 disables quantisation.
+    trim_limit:
+        Saturation of the trim DAC (± this value); 0 disables the limit.
+    """
+
+    gain: float = 0.5
+    quantisation_step: float = 0.0
+    trim_limit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0.0:
+            raise ConfigurationError("servo gain must be positive")
+        if self.quantisation_step < 0.0 or self.trim_limit < 0.0:
+            raise ConfigurationError("quantisation and limit must be >= 0")
+
+    @property
+    def is_stable(self) -> bool:
+        """The discrete-integrator stability criterion ``k < 2``."""
+        return self.gain < 2.0
+
+
+@dataclass
+class ServoHistory:
+    """Per-period record of a servo run."""
+
+    residuals: List[float]
+    trims: List[float]
+
+    @property
+    def final_residual(self) -> float:
+        if not self.residuals:
+            raise ConfigurationError("servo has not run")
+        return self.residuals[-1]
+
+    def settling_periods(self, tolerance: float) -> Optional[int]:
+        """First period after which |residual| stays within tolerance.
+
+        Returns ``None`` if it never settles within the recorded run.
+        """
+        if tolerance <= 0.0:
+            raise ConfigurationError("tolerance must be positive")
+        for start in range(len(self.residuals)):
+            if all(abs(r) <= tolerance for r in self.residuals[start:]):
+                return start
+        return None
+
+
+class OffsetServo:
+    """The integrating offset-correction loop."""
+
+    def __init__(self, settings: ServoSettings = ServoSettings()):
+        self.settings = settings
+        self.trim = 0.0
+
+    def _measure(self, residual: float) -> float:
+        step = self.settings.quantisation_step
+        if step <= 0.0:
+            return residual
+        return round(residual / step) * step
+
+    def _clamp(self, trim: float) -> float:
+        limit = self.settings.trim_limit
+        if limit <= 0.0:
+            return trim
+        return max(-limit, min(limit, trim))
+
+    def step(self, raw_offset: float) -> float:
+        """One correction period; returns the residual offset after it."""
+        residual = raw_offset - self.trim
+        measured = self._measure(residual)
+        self.trim = self._clamp(self.trim + self.settings.gain * measured)
+        return raw_offset - self.trim
+
+    def run(self, raw_offset: float, periods: int) -> ServoHistory:
+        """Run the loop for a number of correction periods."""
+        if periods < 1:
+            raise ConfigurationError("need at least one period")
+        residuals, trims = [], []
+        for _ in range(periods):
+            residuals.append(self.step(raw_offset))
+            trims.append(self.trim)
+        return ServoHistory(residuals, trims)
+
+    def reset(self) -> None:
+        self.trim = 0.0
+
+
+def predicted_residual(raw_offset: float, gain: float, periods: int) -> float:
+    """Analytic residual of the ideal (unquantised) loop after n periods."""
+    if periods < 0:
+        raise ConfigurationError("periods must be non-negative")
+    return raw_offset * (1.0 - gain) ** periods

@@ -1,0 +1,138 @@
+"""Voltage-to-current converters driving the fluxgate excitation coils (§3.1).
+
+"The current source consists of a triangular waveform generator or
+oscillator and two VI-converters to drive the two sensors."  Relevant
+hardware constraints from the paper, all modelled here:
+
+* 12 mA peak-to-peak output into the sensor;
+* "The sensors have a high series resistance, which requires the use of a
+  balanced differential output" — the output swing available is the supply
+  minus two saturation headrooms, shared differentially;
+* "With the supply voltage at 5 Volt, sensors with a resistance as high as
+  800 Ω can be driven" — which pins the headroom at 0.1 V per side
+  (5 V − 2·0.1 V = 4.8 V = 6 mA · 800 Ω);
+* "The resistive character of the sensors is used to linearise the
+  excitation current sources" — an un-linearised converter has a
+  compressive cubic term; driving a resistive load closes a degeneration
+  loop around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ComplianceError, ConfigurationError
+from ..simulation.signals import Trace
+from ..units import SUPPLY_VOLTAGE
+
+
+@dataclass(frozen=True)
+class VIConverterParameters:
+    """Electrical parameters of one V-I converter.
+
+    Attributes
+    ----------
+    transconductance:
+        Output current per input volt [A/V].
+    supply_voltage:
+        Rail-to-rail supply [V].
+    headroom:
+        Output-stage saturation voltage per side [V].
+    cubic_distortion:
+        Relative third-order compression at full scale when the
+        resistive-load linearisation is not active.
+    linearised:
+        Whether the resistive-sensor degeneration loop is closed (§3.1).
+    """
+
+    transconductance: float = 6.0e-3
+    supply_voltage: float = SUPPLY_VOLTAGE
+    headroom: float = 0.1
+    cubic_distortion: float = 0.05
+    linearised: bool = True
+
+    def __post_init__(self) -> None:
+        if self.transconductance <= 0.0:
+            raise ConfigurationError("transconductance must be positive")
+        if self.supply_voltage <= 0.0 or self.headroom < 0.0:
+            raise ConfigurationError("supply and headroom must be physical")
+        if self.supply_voltage <= 2.0 * self.headroom:
+            raise ConfigurationError("no output swing left after headroom")
+        if not 0.0 <= self.cubic_distortion < 1.0:
+            raise ConfigurationError("cubic distortion must be in [0, 1)")
+
+    @property
+    def compliance_voltage(self) -> float:
+        """Differential output swing available to the load [V]."""
+        return self.supply_voltage - 2.0 * self.headroom
+
+    def max_load_resistance(self, current_amplitude: float) -> float:
+        """Largest sensor resistance drivable at a given current [Ω]."""
+        if current_amplitude <= 0.0:
+            raise ConfigurationError("current amplitude must be positive")
+        return self.compliance_voltage / current_amplitude
+
+
+class VIConverter:
+    """One balanced-differential V-I converter channel."""
+
+    def __init__(self, params: VIConverterParameters = VIConverterParameters()):
+        self.params = params
+        self._enabled = True
+
+    # -- power gating (§4: "enables the analogue section ... only when
+    # they are needed") ---------------------------------------------------
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    # -- signal path -------------------------------------------------------
+
+    def check_compliance(self, load_resistance: float, current_amplitude: float) -> None:
+        """Raise :class:`ComplianceError` if the load cannot be driven."""
+        if load_resistance < 0.0:
+            raise ConfigurationError("load resistance must be non-negative")
+        required = load_resistance * current_amplitude
+        if required > self.params.compliance_voltage:
+            raise ComplianceError(
+                f"driving {load_resistance:.0f} Ω at {current_amplitude * 1e3:.1f} mA "
+                f"needs {required:.2f} V but only "
+                f"{self.params.compliance_voltage:.2f} V swing is available "
+                f"at {self.params.supply_voltage:.1f} V supply"
+            )
+
+    def drive(self, voltage: Trace, load_resistance: float) -> Trace:
+        """Convert an input voltage trace to the excitation current [A].
+
+        Raises
+        ------
+        ComplianceError
+            If the requested swing exceeds the differential compliance.
+        """
+        p = self.params
+        if not self._enabled:
+            return Trace(voltage.t, np.zeros_like(voltage.v))
+        peak_in = float(np.max(np.abs(voltage.v)))
+        self.check_compliance(load_resistance, p.transconductance * peak_in)
+
+        i_ideal = voltage.v * p.transconductance
+        if p.linearised or p.cubic_distortion == 0.0:
+            i_out = i_ideal
+        else:
+            full_scale = p.transconductance * max(peak_in, 1e-30)
+            norm = i_ideal / full_scale
+            i_out = i_ideal * (1.0 - p.cubic_distortion * norm**2)
+        return Trace(voltage.t, i_out)
+
+    def output_voltage(self, current: Trace, load_resistance: float) -> Trace:
+        """Differential voltage appearing across the load [V]."""
+        return current.scaled(load_resistance)

@@ -1,0 +1,37 @@
+"""Boundary-scan test structures for the MCM ([Oli96], §2)."""
+
+from .bscan import (
+    IR_WIDTH,
+    BoundaryCell,
+    BoundaryScanDevice,
+    CellDirection,
+    Instruction,
+    ScanPort,
+)
+from .interconnect import (
+    FaultKind,
+    InterconnectFault,
+    SubstrateHarness,
+    code_width,
+    counting_codes,
+    fault_coverage,
+)
+from .tap import TAPController, TapState, TRANSITIONS
+
+__all__ = [
+    "BoundaryCell",
+    "BoundaryScanDevice",
+    "CellDirection",
+    "FaultKind",
+    "IR_WIDTH",
+    "Instruction",
+    "InterconnectFault",
+    "ScanPort",
+    "SubstrateHarness",
+    "TAPController",
+    "TRANSITIONS",
+    "TapState",
+    "code_width",
+    "counting_codes",
+    "fault_coverage",
+]

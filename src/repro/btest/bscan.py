@@ -1,0 +1,335 @@
+"""Boundary-scan register, instruction decode and the scan port.
+
+Implements the register side of IEEE 1149.1 as used by the MCM test
+structures [Oli96]: boundary cells with capture/shift/update stages, the
+instruction register with its mandatory ``...01`` capture value, the
+bypass and idcode registers, and a :class:`ScanPort` that drives the whole
+protocol through a :class:`~repro.btest.tap.TAPController`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError, ProtocolError
+from .tap import TAPController, TapState
+
+
+class CellDirection(enum.Enum):
+    """Signal direction of a boundary cell, seen from the device."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass
+class BoundaryCell:
+    """One boundary-scan cell: capture/shift flip-flop plus update latch."""
+
+    name: str
+    direction: CellDirection
+    shift_bit: int = 0
+    update_latch: int = 0
+
+    def capture(self, pad_value: int) -> None:
+        """Load the pad's current value into the shift stage."""
+        if pad_value not in (0, 1):
+            raise ProtocolError(f"pad value must be 0/1, got {pad_value!r}")
+        self.shift_bit = pad_value
+
+    def update(self) -> None:
+        """Transfer the shift stage to the update latch (drives the pad)."""
+        self.update_latch = self.shift_bit
+
+
+class Instruction(enum.Enum):
+    """The instruction set of the MCM test device."""
+
+    EXTEST = "0000"
+    SAMPLE = "0001"
+    IDCODE = "0010"
+    BYPASS = "1111"
+
+    @property
+    def bits(self) -> Tuple[int, ...]:
+        return tuple(int(b) for b in self.value)
+
+
+IR_WIDTH = 4
+
+#: Mandatory IEEE 1149.1 capture value of the instruction register: the two
+#: least-significant bits are 01.
+IR_CAPTURE = (0, 0, 0, 1)
+
+
+class BoundaryScanDevice:
+    """One device on the scan chain (the SoG die / the active substrate).
+
+    Parameters
+    ----------
+    name:
+        Device name.
+    cell_names:
+        Ordered boundary-register layout as (name, direction) pairs; the
+        first entry is closest to TDO (shifted out first).
+    idcode:
+        32-bit identification code.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cell_names: Sequence[Tuple[str, CellDirection]],
+        idcode: int = 0x1_0001_01D,
+    ):
+        if len(cell_names) == 0:
+            raise ConfigurationError("a boundary register needs cells")
+        names = [n for n, _ in cell_names]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate boundary cell names")
+        if not 0 <= idcode < 2**32:
+            raise ConfigurationError("idcode must be a 32-bit value")
+        if idcode & 1 != 1:
+            raise ConfigurationError(
+                "IEEE 1149.1 requires idcode bit 0 == 1 "
+                "(distinguishes IDCODE from BYPASS capture)"
+            )
+        self.name = name
+        self.cells = [BoundaryCell(n, d) for n, d in cell_names]
+        self.idcode = idcode
+        self.instruction = Instruction.IDCODE  # reset value per the standard
+        self._ir_shift: List[int] = [0] * IR_WIDTH
+        self._bypass_bit = 0
+        self._idcode_shift: List[int] = [0] * 32
+        #: Pad input values, set by the environment (the interconnect model).
+        self.pad_inputs: Dict[str, int] = {
+            c.name: 0 for c in self.cells if c.direction is CellDirection.INPUT
+        }
+
+    # -- register selection ----------------------------------------------------------
+
+    def _dr_length(self) -> int:
+        if self.instruction in (Instruction.EXTEST, Instruction.SAMPLE):
+            return len(self.cells)
+        if self.instruction is Instruction.IDCODE:
+            return 32
+        return 1  # BYPASS
+
+    # -- TAP event handlers -------------------------------------------------------
+
+    def on_test_logic_reset(self) -> None:
+        self.instruction = Instruction.IDCODE
+
+    def capture_ir(self) -> None:
+        self._ir_shift = list(IR_CAPTURE)
+
+    def shift_ir(self, tdi: int) -> int:
+        """Shift one bit through the IR; returns the bit leaving via TDO."""
+        tdo = self._ir_shift[-1]
+        self._ir_shift = [tdi] + self._ir_shift[:-1]
+        return tdo
+
+    def update_ir(self) -> None:
+        bits = "".join(str(b) for b in self._ir_shift)
+        for instruction in Instruction:
+            if instruction.value == bits:
+                self.instruction = instruction
+                return
+        # Unknown opcodes decode to BYPASS, per the standard.
+        self.instruction = Instruction.BYPASS
+
+    def capture_dr(self) -> None:
+        if self.instruction in (Instruction.EXTEST, Instruction.SAMPLE):
+            for cell in self.cells:
+                if cell.direction is CellDirection.INPUT:
+                    cell.capture(self.pad_inputs[cell.name])
+                else:
+                    cell.capture(cell.update_latch)
+        elif self.instruction is Instruction.IDCODE:
+            self._idcode_shift = [
+                (self.idcode >> i) & 1 for i in range(32)
+            ]
+        else:
+            self._bypass_bit = 0
+
+    def shift_dr(self, tdi: int) -> int:
+        if self.instruction in (Instruction.EXTEST, Instruction.SAMPLE):
+            tdo = self.cells[0].shift_bit
+            for i in range(len(self.cells) - 1):
+                self.cells[i].shift_bit = self.cells[i + 1].shift_bit
+            self.cells[-1].shift_bit = tdi
+            return tdo
+        if self.instruction is Instruction.IDCODE:
+            tdo = self._idcode_shift[0]
+            self._idcode_shift = self._idcode_shift[1:] + [tdi]
+            return tdo
+        tdo = self._bypass_bit
+        self._bypass_bit = tdi
+        return tdo
+
+    def update_dr(self) -> None:
+        if self.instruction is Instruction.EXTEST:
+            for cell in self.cells:
+                if cell.direction is CellDirection.OUTPUT:
+                    cell.update()
+
+    # -- pad-side access ------------------------------------------------------------
+
+    def driven_values(self) -> Dict[str, int]:
+        """What the output cells drive onto the nets under EXTEST."""
+        return {
+            c.name: c.update_latch
+            for c in self.cells
+            if c.direction is CellDirection.OUTPUT
+        }
+
+    def set_pad_input(self, cell_name: str, value: int) -> None:
+        if cell_name not in self.pad_inputs:
+            raise ConfigurationError(f"no input cell {cell_name!r}")
+        if value not in (0, 1):
+            raise ProtocolError(f"pad value must be 0/1, got {value!r}")
+        self.pad_inputs[cell_name] = value
+
+
+class ScanPort:
+    """TCK/TMS/TDI/TDO access to a chain of boundary-scan devices.
+
+    Devices are chained TDI → devices[0] → devices[1] → … → TDO.
+    """
+
+    def __init__(self, devices: Sequence[BoundaryScanDevice]):
+        if len(devices) == 0:
+            raise ConfigurationError("scan chain needs at least one device")
+        self.devices = list(devices)
+        self.tap = TAPController()
+
+    # -- low-level clocking ----------------------------------------------------------
+
+    def clock(self, tms: int, tdi: int = 0) -> int:
+        """One TCK edge; returns the TDO level shifted out (or 0)."""
+        if tdi not in (0, 1):
+            raise ProtocolError(f"TDI must be 0/1, got {tdi!r}")
+        state_before = self.tap.state
+        tdo = 0
+        if state_before is TapState.SHIFT_DR:
+            bit = tdi
+            for device in self.devices:
+                bit = device.shift_dr(bit)
+            tdo = bit
+        elif state_before is TapState.SHIFT_IR:
+            bit = tdi
+            for device in self.devices:
+                bit = device.shift_ir(bit)
+            tdo = bit
+        state = self.tap.step(tms)
+        if state is TapState.TEST_LOGIC_RESET:
+            for device in self.devices:
+                device.on_test_logic_reset()
+        elif state is TapState.CAPTURE_DR:
+            for device in self.devices:
+                device.capture_dr()
+        elif state is TapState.CAPTURE_IR:
+            for device in self.devices:
+                device.capture_ir()
+        elif state is TapState.UPDATE_DR:
+            for device in self.devices:
+                device.update_dr()
+        elif state is TapState.UPDATE_IR:
+            for device in self.devices:
+                device.update_ir()
+        return tdo
+
+    # -- protocol helpers ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Hold TMS high for five clocks, then drop to Run-Test/Idle."""
+        for _ in range(5):
+            self.clock(1)
+        self.clock(0)
+        if self.tap.state is not TapState.RUN_TEST_IDLE:
+            raise ProtocolError("scan port failed to reach Run-Test/Idle")
+
+    def _require_idle(self) -> None:
+        if self.tap.state is not TapState.RUN_TEST_IDLE:
+            raise ProtocolError(
+                f"scan operation must start from Run-Test/Idle, "
+                f"not {self.tap.state}"
+            )
+
+    def _scan(self, bits_in: Sequence[int], to_shift: Tuple[int, ...]) -> List[int]:
+        self._require_idle()
+        for tms in to_shift:
+            self.clock(tms)
+        bits_out: List[int] = []
+        for i, bit in enumerate(bits_in):
+            last = i == len(bits_in) - 1
+            bits_out.append(self.clock(1 if last else 0, bit))
+        for tms in TAPController.path_exit_to_idle():
+            self.clock(tms)
+        return bits_out
+
+    def scan_ir(self, bits_in: Sequence[int]) -> List[int]:
+        """Shift an instruction into every device (LSB-first per device).
+
+        ``bits_in`` covers the whole chain: ``IR_WIDTH × len(devices)``
+        bits, the first device's bits first.
+        """
+        expected = IR_WIDTH * len(self.devices)
+        if len(bits_in) != expected:
+            raise ProtocolError(
+                f"IR scan needs {expected} bits for this chain, "
+                f"got {len(bits_in)}"
+            )
+        return self._scan(bits_in, TAPController.path_to_shift_ir())
+
+    def scan_dr(self, bits_in: Sequence[int]) -> List[int]:
+        """Shift a data-register pattern through the chain."""
+        return self._scan(bits_in, TAPController.path_to_shift_dr())
+
+    def load_instruction(self, instruction: Instruction) -> None:
+        """Put every device in the chain into the same instruction.
+
+        Bits enter TDI first for the *last* device in the shift path, so
+        each device's opcode is sent LSB-last; for identical opcodes the
+        ordering collapses to a simple repetition.
+        """
+        opcode = list(reversed(instruction.bits))
+        self.scan_ir(opcode * len(self.devices))
+        for device in self.devices:
+            if device.instruction is not instruction:
+                raise ProtocolError(
+                    f"device {device.name!r} decoded "
+                    f"{device.instruction} instead of {instruction}"
+                )
+
+    def read_idcodes(self) -> List[int]:
+        """IDCODE scan: reset (selects IDCODE), read 32 bits per device."""
+        self.reset()
+        raw = self.scan_dr([0] * (32 * len(self.devices)))
+        # The device nearest TDO (devices[-1]) shifts out first; unpack
+        # in reverse so the result lists codes in chain (TDI-side) order.
+        codes = [0] * len(self.devices)
+        for i in range(len(self.devices)):
+            bits = raw[i * 32 : (i + 1) * 32]
+            codes[len(self.devices) - 1 - i] = sum(
+                b << k for k, b in enumerate(bits)
+            )
+        return codes
+
+    def chain_length_dr(self) -> int:
+        """Discover the DR chain length by flushing with a marker bit.
+
+        Classic JTAG plumbing check: fill the chain with zeros, then shift
+        a single one and count the clocks until it reappears.
+        """
+        self._require_idle()
+        total = sum(d._dr_length() for d in self.devices)
+        flush = self.scan_dr([0] * total + [1] + [0] * total)
+        try:
+            # Position of the marker in the outgoing stream equals the
+            # chain length (it entered after `total` zeros).
+            return flush.index(1, total) - total
+        except ValueError as exc:
+            raise ProtocolError("marker bit never emerged from chain") from exc

@@ -1,0 +1,322 @@
+"""MCM interconnect testing through the boundary-scan structures [Oli96].
+
+The point of putting boundary scan on the MCM ("Test Structures on MCM
+Active Substrate: Is it Worthwhile", the paper's own reference) is to test
+the substrate wiring between the SoG die and the sensor dies after
+assembly: opens from failed bond connections, shorts between adjacent
+substrate traces, and stuck nets.
+
+The classic algorithm is the **modified counting sequence**: every net is
+assigned a unique code (skipping all-zeros and all-ones so stuck nets are
+always detected); code bit ``b`` of every net is applied in parallel as
+test pattern ``b`` via EXTEST, and the receivers' captures are
+concatenated per net into a received code.  Diagnosis is a code lookup:
+
+* received == sent            → net good,
+* received is all-0 / all-1   → open or stuck net,
+* received == another net's   → short with that net (wired-AND).
+
+Everything runs through the real scan protocol: patterns are shifted into
+the driver cells through the TAP, nets propagate (with injected faults),
+and results are shifted back out.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..soc.mcm import MCMAssembly
+from .bscan import (
+    BoundaryScanDevice,
+    CellDirection,
+    Instruction,
+    ScanPort,
+)
+
+
+class FaultKind(enum.Enum):
+    """Injectable interconnect faults."""
+
+    OPEN = "open"          # receiver sees the floating level
+    STUCK_0 = "stuck-0"
+    STUCK_1 = "stuck-1"
+    SHORT = "short"        # wired-AND with another net
+
+
+@dataclass(frozen=True)
+class InterconnectFault:
+    """One injected fault.
+
+    Attributes
+    ----------
+    kind:
+        The fault class.
+    net:
+        Faulted net name.
+    other_net:
+        Second net of a SHORT; unused otherwise.
+    """
+
+    kind: FaultKind
+    net: str
+    other_net: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is FaultKind.SHORT and not self.other_net:
+            raise ConfigurationError("a SHORT needs two nets")
+        if self.kind is not FaultKind.SHORT and self.other_net:
+            raise ConfigurationError(f"{self.kind} takes a single net")
+
+
+#: Floating (open) inputs read as logic 1 on this substrate technology
+#: (pull-ups in the receiver cells).
+OPEN_READS_AS = 1
+
+
+def counting_codes(n_nets: int) -> List[int]:
+    """Unique per-net codes for the modified counting sequence.
+
+    Codes 1 … n (skipping 0) in ``ceil(log2(n+2))`` bits, additionally
+    skipping the all-ones code so no good net is confusable with a stuck
+    or open net.
+    """
+    if n_nets < 1:
+        raise ConfigurationError("need at least one net")
+    width = max(1, math.ceil(math.log2(n_nets + 2)))
+    all_ones = (1 << width) - 1
+    codes = [c for c in range(1, all_ones) ][:n_nets]
+    if len(codes) < n_nets:
+        raise ConfigurationError("code space too small — widen the sequence")
+    return codes
+
+
+def code_width(n_nets: int) -> int:
+    """Bits per code (= number of EXTEST patterns needed)."""
+    return max(1, math.ceil(math.log2(n_nets + 2)))
+
+
+class SubstrateHarness:
+    """Boundary-scan harness around an MCM's substrate nets.
+
+    Builds one boundary-scan device ("the active substrate") with a driver
+    cell and a receiver cell per net, wires its EXTEST path through the
+    fault model, and exposes the modified-counting-sequence test.
+    """
+
+    def __init__(self, mcm: MCMAssembly):
+        mcm.validate()
+        self.mcm = mcm
+        self.net_names = sorted(mcm.nets)
+        if not self.net_names:
+            raise ConfigurationError("MCM has no nets to test")
+        cells: List[Tuple[str, CellDirection]] = []
+        for net in self.net_names:
+            cells.append((f"drv_{net}", CellDirection.OUTPUT))
+            cells.append((f"rcv_{net}", CellDirection.INPUT))
+        self.device = BoundaryScanDevice("substrate", cells, idcode=0x0BEE_F001)
+        self.port = ScanPort([self.device])
+        self.faults: List[InterconnectFault] = []
+
+    # -- fault injection ---------------------------------------------------------
+
+    def inject(self, fault: InterconnectFault) -> None:
+        for name in (fault.net, fault.other_net):
+            if name is not None and name not in self.net_names:
+                raise ConfigurationError(f"no net {name!r} on this MCM")
+        self.faults.append(fault)
+
+    def clear_faults(self) -> None:
+        self.faults = []
+
+    # -- net propagation -----------------------------------------------------------
+
+    def _propagate(self) -> None:
+        """Drive every net from its driver cell through the fault model."""
+        driven = self.device.driven_values()
+        levels: Dict[str, int] = {
+            net: driven[f"drv_{net}"] for net in self.net_names
+        }
+        for fault in self.faults:
+            if fault.kind is FaultKind.STUCK_0:
+                levels[fault.net] = 0
+            elif fault.kind is FaultKind.STUCK_1:
+                levels[fault.net] = 1
+            elif fault.kind is FaultKind.OPEN:
+                levels[fault.net] = OPEN_READS_AS
+            elif fault.kind is FaultKind.SHORT:
+                wired_and = levels[fault.net] & levels[fault.other_net]
+                levels[fault.net] = wired_and
+                levels[fault.other_net] = wired_and
+        for net, level in levels.items():
+            self.device.set_pad_input(f"rcv_{net}", level)
+
+    # -- the test ------------------------------------------------------------------------
+
+    def _apply_pattern(self, drive_bits: Dict[str, int]) -> Dict[str, int]:
+        """One EXTEST pattern: shift in drives, propagate, capture, read.
+
+        Two DR scans per pattern, as on real hardware: the first loads the
+        drivers (update), the second captures the settled receivers while
+        loading the next-safe all-zero drive.
+        """
+        layout = self.device.cells
+        # The register shifts toward TDO at cell 0, so the bit sent on
+        # clock k comes to rest in cell k: build the stream in cell order.
+        shift_in = []
+        for cell in layout:
+            if cell.direction is CellDirection.OUTPUT:
+                net = cell.name[len("drv_"):]
+                shift_in.append(drive_bits[net])
+            else:
+                shift_in.append(0)
+        self.port.scan_dr(shift_in)  # update loads the drivers
+        self._propagate()
+        captured = self.port.scan_dr(shift_in)  # capture + re-load drivers
+        received: Dict[str, int] = {}
+        for position, cell in enumerate(layout):
+            if cell.direction is CellDirection.INPUT:
+                net = cell.name[len("rcv_"):]
+                received[net] = captured[position]
+        return received
+
+    def run_counting_sequence(self) -> Dict[str, int]:
+        """Run the full test; returns the received code per net."""
+        codes = dict(zip(self.net_names, counting_codes(len(self.net_names))))
+        width = code_width(len(self.net_names))
+        self.port.reset()
+        self.port.load_instruction(Instruction.EXTEST)
+        received_codes = {net: 0 for net in self.net_names}
+        for bit in range(width):
+            drive = {net: (codes[net] >> bit) & 1 for net in self.net_names}
+            received = self._apply_pattern(drive)
+            for net, level in received.items():
+                received_codes[net] |= level << bit
+        return received_codes
+
+    def diagnose(self) -> Dict[str, str]:
+        """Run the test and classify every net.
+
+        Returns net → one of ``"good"``, ``"open/stuck-1"``, ``"stuck-0"``
+        or ``"short with <net>"``.
+        """
+        codes = dict(zip(self.net_names, counting_codes(len(self.net_names))))
+        width = code_width(len(self.net_names))
+        all_ones = (1 << width) - 1
+        received = self.run_counting_sequence()
+        verdicts: Dict[str, str] = {}
+        for net in self.net_names:
+            got = received[net]
+            if got == codes[net]:
+                verdicts[net] = "good"
+            elif got == all_ones:
+                verdicts[net] = "open/stuck-1"
+            elif got == 0:
+                verdicts[net] = "stuck-0"
+            else:
+                culprits = [
+                    other
+                    for other in self.net_names
+                    if other != net
+                    and received[other] == got
+                    and (codes[other] & codes[net]) == got
+                ]
+                partner = culprits[0] if culprits else "unknown"
+                verdicts[net] = f"short with {partner}"
+        return verdicts
+
+    def test_passes(self) -> bool:
+        """True iff every net diagnoses as good."""
+        return all(v == "good" for v in self.diagnose().values())
+
+    # -- counting sequence with complement (the true "modified" variant) ----
+
+    def run_with_complement(self) -> Dict[str, Tuple[int, int]]:
+        """Apply every code and its bitwise complement.
+
+        The plain counting sequence can miss one partner of a wired-AND
+        short when that net's code is a subset of the other's (the AND
+        equals its own code).  Driving the complemented codes as a second
+        pass breaks the subset relation — a net pair cannot alias in both
+        polarities unless the codes are equal, which unique codes forbid.
+        Costs exactly 2× the patterns.
+        """
+        codes = dict(zip(self.net_names, counting_codes(len(self.net_names))))
+        width = code_width(len(self.net_names))
+        mask = (1 << width) - 1
+        self.port.reset()
+        self.port.load_instruction(Instruction.EXTEST)
+
+        received = {net: [0, 0] for net in self.net_names}
+        for phase, polarity in enumerate(("direct", "complement")):
+            for bit in range(width):
+                drive = {}
+                for net in self.net_names:
+                    code = codes[net] if phase == 0 else (~codes[net] & mask)
+                    drive[net] = (code >> bit) & 1
+                captured = self._apply_pattern(drive)
+                for net, level in captured.items():
+                    received[net][phase] |= level << bit
+        return {net: (vals[0], vals[1]) for net, vals in received.items()}
+
+    def diagnose_with_complement(self) -> Dict[str, str]:
+        """Diagnose with the two-pass test; catches aliased shorts.
+
+        Two faulty nets showing the *same* anomalous read pair are
+        diagnosed as shorted together — when two codes are disjoint their
+        wired-AND reads all-zero in both passes, which is exactly what a
+        pair of stuck-0 nets would read; the pairwise signature is the
+        only (and the likelier) distinction available at the pins.
+        """
+        codes = dict(zip(self.net_names, counting_codes(len(self.net_names))))
+        width = code_width(len(self.net_names))
+        mask = (1 << width) - 1
+        received = self.run_with_complement()
+
+        bad = [
+            net
+            for net in self.net_names
+            if received[net] != (codes[net], ~codes[net] & mask)
+        ]
+        verdicts: Dict[str, str] = {
+            net: "good" for net in self.net_names if net not in bad
+        }
+        for net in bad:
+            partners = [
+                other
+                for other in bad
+                if other != net and received[other] == received[net]
+            ]
+            direct, complement = received[net]
+            if partners:
+                verdicts[net] = f"short with {partners[0]}"
+            elif direct == mask and complement == mask:
+                verdicts[net] = "open/stuck-1"
+            elif direct == 0 and complement == 0:
+                verdicts[net] = "stuck-0"
+            else:
+                verdicts[net] = "faulty"
+        return verdicts
+
+
+def fault_coverage(
+    harness_factory,
+    faults: Sequence[InterconnectFault],
+) -> float:
+    """Fraction of injected faults the counting-sequence test detects.
+
+    ``harness_factory`` builds a fresh harness per fault (fault effects
+    must not accumulate).
+    """
+    if len(faults) == 0:
+        raise ConfigurationError("no faults to evaluate")
+    detected = 0
+    for fault in faults:
+        harness = harness_factory()
+        harness.inject(fault)
+        if not harness.test_passes():
+            detected += 1
+    return detected / len(faults)

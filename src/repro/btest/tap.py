@@ -1,0 +1,125 @@
+"""IEEE 1149.1 TAP controller — the access port of the MCM test structures.
+
+§2: "The SoG and two micromachined sensors will be combined on a single
+MCM, equipped with boundary scan test structures [Oli96]."  [Oli96] is the
+group's own ED&TC'96 paper on boundary-scan structures on active MCM
+substrates; this module provides the standard 16-state TAP state machine
+those structures hang off.
+
+Clocking semantics (documented because simulators differ in edge
+bookkeeping): one call to :meth:`TAPController.clock` models one rising
+TCK edge.
+
+* If the controller was in Shift-DR/Shift-IR *before* the edge, the
+  selected register shifts one bit on this edge.
+* The state transition then takes effect; *entering* Capture-DR/IR
+  captures, *entering* Update-DR/IR updates.
+
+So a scan of ``n`` bits is: enter Shift via 1,0,0 (or 1,1,0,0 for IR),
+then ``n`` edges of which the last carries TMS=1, then TMS=1 to Update.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from ..errors import ProtocolError
+
+
+class TapState(enum.Enum):
+    """The sixteen controller states of IEEE 1149.1 figure 6-1."""
+
+    TEST_LOGIC_RESET = "test-logic-reset"
+    RUN_TEST_IDLE = "run-test-idle"
+    SELECT_DR_SCAN = "select-dr-scan"
+    CAPTURE_DR = "capture-dr"
+    SHIFT_DR = "shift-dr"
+    EXIT1_DR = "exit1-dr"
+    PAUSE_DR = "pause-dr"
+    EXIT2_DR = "exit2-dr"
+    UPDATE_DR = "update-dr"
+    SELECT_IR_SCAN = "select-ir-scan"
+    CAPTURE_IR = "capture-ir"
+    SHIFT_IR = "shift-ir"
+    EXIT1_IR = "exit1-ir"
+    PAUSE_IR = "pause-ir"
+    EXIT2_IR = "exit2-ir"
+    UPDATE_IR = "update-ir"
+
+
+_S = TapState
+
+#: (state, tms) -> next state; the standard's transition table, verbatim.
+TRANSITIONS: Dict[Tuple[TapState, int], TapState] = {
+    (_S.TEST_LOGIC_RESET, 0): _S.RUN_TEST_IDLE,
+    (_S.TEST_LOGIC_RESET, 1): _S.TEST_LOGIC_RESET,
+    (_S.RUN_TEST_IDLE, 0): _S.RUN_TEST_IDLE,
+    (_S.RUN_TEST_IDLE, 1): _S.SELECT_DR_SCAN,
+    (_S.SELECT_DR_SCAN, 0): _S.CAPTURE_DR,
+    (_S.SELECT_DR_SCAN, 1): _S.SELECT_IR_SCAN,
+    (_S.CAPTURE_DR, 0): _S.SHIFT_DR,
+    (_S.CAPTURE_DR, 1): _S.EXIT1_DR,
+    (_S.SHIFT_DR, 0): _S.SHIFT_DR,
+    (_S.SHIFT_DR, 1): _S.EXIT1_DR,
+    (_S.EXIT1_DR, 0): _S.PAUSE_DR,
+    (_S.EXIT1_DR, 1): _S.UPDATE_DR,
+    (_S.PAUSE_DR, 0): _S.PAUSE_DR,
+    (_S.PAUSE_DR, 1): _S.EXIT2_DR,
+    (_S.EXIT2_DR, 0): _S.SHIFT_DR,
+    (_S.EXIT2_DR, 1): _S.UPDATE_DR,
+    (_S.UPDATE_DR, 0): _S.RUN_TEST_IDLE,
+    (_S.UPDATE_DR, 1): _S.SELECT_DR_SCAN,
+    (_S.SELECT_IR_SCAN, 0): _S.CAPTURE_IR,
+    (_S.SELECT_IR_SCAN, 1): _S.TEST_LOGIC_RESET,
+    (_S.CAPTURE_IR, 0): _S.SHIFT_IR,
+    (_S.CAPTURE_IR, 1): _S.EXIT1_IR,
+    (_S.SHIFT_IR, 0): _S.SHIFT_IR,
+    (_S.SHIFT_IR, 1): _S.EXIT1_IR,
+    (_S.EXIT1_IR, 0): _S.PAUSE_IR,
+    (_S.EXIT1_IR, 1): _S.UPDATE_IR,
+    (_S.PAUSE_IR, 0): _S.PAUSE_IR,
+    (_S.PAUSE_IR, 1): _S.EXIT2_IR,
+    (_S.EXIT2_IR, 0): _S.SHIFT_IR,
+    (_S.EXIT2_IR, 1): _S.UPDATE_IR,
+    (_S.UPDATE_IR, 0): _S.RUN_TEST_IDLE,
+    (_S.UPDATE_IR, 1): _S.SELECT_DR_SCAN,
+}
+
+
+class TAPController:
+    """The bare state machine; registers live in the attached device."""
+
+    def __init__(self) -> None:
+        self.state = TapState.TEST_LOGIC_RESET
+
+    def step(self, tms: int) -> TapState:
+        """Advance one TCK edge with the given TMS level."""
+        if tms not in (0, 1):
+            raise ProtocolError(f"TMS must be 0 or 1, got {tms!r}")
+        self.state = TRANSITIONS[(self.state, tms)]
+        return self.state
+
+    def reset(self) -> None:
+        """Five TMS=1 edges reach Test-Logic-Reset from any state."""
+        for _ in range(5):
+            self.step(1)
+        if self.state is not TapState.TEST_LOGIC_RESET:
+            raise ProtocolError("TAP failed to reset — transition table broken")
+
+    # -- canonical navigation sequences ---------------------------------------
+
+    @staticmethod
+    def path_to_shift_dr() -> Tuple[int, ...]:
+        """TMS sequence Run-Test/Idle → Shift-DR (captures on the way)."""
+        return (1, 0, 0)
+
+    @staticmethod
+    def path_to_shift_ir() -> Tuple[int, ...]:
+        """TMS sequence Run-Test/Idle → Shift-IR (captures on the way)."""
+        return (1, 1, 0, 0)
+
+    @staticmethod
+    def path_exit_to_idle() -> Tuple[int, ...]:
+        """TMS sequence Exit1 → Update → Run-Test/Idle."""
+        return (1, 0)

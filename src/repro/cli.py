@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library a bench-top feel without writing code:
+
+* ``measure`` — one compass measurement at a chosen heading/field,
+* ``sweep`` — full-circle accuracy sweep with statistics,
+* ``power`` — the power budget at a given update rate,
+* ``area`` — the Sea-of-Gates floorplan report,
+* ``scan`` — boundary-scan test of the MCM, with optional fault injection,
+* ``watch`` — advance the watch and render the LCD.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .btest.interconnect import FaultKind, InterconnectFault, SubstrateHarness
+from .core.accuracy import heading_sweep, sweep_stats
+from .core.compass import IntegratedCompass
+from .core.power import PowerModel
+from .digital.display import DisplayMode
+from .soc.mcm import build_compass_mcm
+from .soc.netlist import CompassNetlist
+from .soc.sea_of_gates import PAIRS_PER_QUARTER
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    compass = IntegratedCompass()
+    m = compass.measure_heading(args.heading, args.field * 1e-6)
+    print(f"true heading : {args.heading:.2f} deg")
+    print(f"measured     : {m.heading_deg:.3f} deg ({m.cardinal})")
+    print(f"error        : {m.error_against(args.heading):.3f} deg")
+    print(f"counts       : x={m.x_count} y={m.y_count}")
+    print(f"duty cycles  : x={m.duty_x:.4f} y={m.duty_y:.4f}")
+    print(f"LCD          : {compass.read_display().text}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    compass = IntegratedCompass()
+    points = heading_sweep(
+        compass, n_points=args.points, field_magnitude_t=args.field * 1e-6
+    )
+    stats = sweep_stats(points)
+    for p in points:
+        print(
+            f"{p.true_heading_deg:8.2f} -> {p.measured_heading_deg:8.3f} "
+            f"({p.error_deg:+.3f})"
+        )
+    print(f"max |error| {stats.max_error:.3f} deg, rms {stats.rms_error:.3f} deg "
+          f"over {stats.n_samples} headings")
+    return 0 if stats.meets(1.0) else 1
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    model = PowerModel()
+    print(model.gated(repetition_period=1.0 / args.rate).as_table())
+    print()
+    print(model.always_on().as_table())
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    netlist = CompassNetlist()
+    array = netlist.place()
+    print("raw pairs per block:")
+    for name, raw in sorted(netlist.raw_pair_summary().items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<18} {raw:6d}")
+    print()
+    for index, (supply, utilisation) in array.utilisation_report().items():
+        print(f"quarter {index}: {supply:<8} {utilisation:6.1%}")
+    print(f"digital: {netlist.digital_pairs() / PAIRS_PER_QUARTER:.2f} quarters; "
+          f"analog: {netlist.analog_pairs() / PAIRS_PER_QUARTER:.1%} of a quarter")
+    return 0
+
+
+_FAULT_KINDS = {
+    "open": FaultKind.OPEN,
+    "stuck0": FaultKind.STUCK_0,
+    "stuck1": FaultKind.STUCK_1,
+}
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    harness = SubstrateHarness(build_compass_mcm())
+    if args.fault:
+        kind_name, _, net = args.fault.partition(":")
+        if kind_name not in _FAULT_KINDS:
+            print(f"unknown fault kind {kind_name!r}; "
+                  f"use one of {sorted(_FAULT_KINDS)}", file=sys.stderr)
+            return 2
+        harness.inject(InterconnectFault(_FAULT_KINDS[kind_name], net))
+    verdicts = (
+        harness.diagnose_with_complement()
+        if args.complement
+        else harness.diagnose()
+    )
+    for net, verdict in sorted(verdicts.items()):
+        print(f"  {net:<12} {verdict}")
+    passed = all(v == "good" for v in verdicts.values())
+    print("RESULT:", "PASS" if passed else "FAIL")
+    return 0 if passed else 1
+
+
+def _cmd_datasheet(args: argparse.Namespace) -> int:
+    from .core.datasheet import generate_datasheet
+
+    sheet = generate_datasheet(quick=args.quick)
+    print(sheet.render())
+    return 0
+
+
+def _cmd_floorplan(args: argparse.Namespace) -> int:
+    from .soc.floorplan import plan_compass
+
+    print(plan_compass().render())
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    compass = IntegratedCompass()
+    hours, _, minutes = args.set.partition(":")
+    compass.set_time(int(hours), int(minutes))
+    compass.back_end.watch.advance_seconds(args.advance)
+    compass.select_display(DisplayMode.TIME)
+    frame = compass.read_display()
+    print(f"LCD: {frame.text[:2]}{':' if frame.colon else ' '}{frame.text[2:]}")
+    print(f"internal time: {compass.back_end.watch.time}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATE'97 integrated fluxgate compass — simulation CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("measure", help="one compass measurement")
+    p.add_argument("--heading", type=float, default=123.0,
+                   help="true heading in degrees (default 123)")
+    p.add_argument("--field", type=float, default=50.0,
+                   help="horizontal field in microtesla (default 50)")
+    p.set_defaults(func=_cmd_measure)
+
+    p = sub.add_parser("sweep", help="full-circle accuracy sweep")
+    p.add_argument("--points", type=int, default=24)
+    p.add_argument("--field", type=float, default=50.0)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("power", help="power budget report")
+    p.add_argument("--rate", type=float, default=1.0,
+                   help="heading updates per second (default 1)")
+    p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser("area", help="Sea-of-Gates floorplan report")
+    p.set_defaults(func=_cmd_area)
+
+    p = sub.add_parser("scan", help="boundary-scan test of the MCM")
+    p.add_argument("--fault", default=None, metavar="KIND:NET",
+                   help="inject a fault, e.g. open:x_pick_p")
+    p.add_argument("--complement", action="store_true",
+                   help="use the complement-pass counting sequence")
+    p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser("datasheet", help="generate the measured datasheet")
+    p.add_argument("--quick", action="store_true", help="smaller sweeps")
+    p.set_defaults(func=_cmd_datasheet)
+
+    p = sub.add_parser("floorplan", help="ASCII die floorplan (Figure 2)")
+    p.set_defaults(func=_cmd_floorplan)
+
+    p = sub.add_parser("watch", help="watch/LCD demo")
+    p.add_argument("--set", default="12:00", metavar="HH:MM")
+    p.add_argument("--advance", type=int, default=0, metavar="SECONDS")
+    p.set_defaults(func=_cmd_watch)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

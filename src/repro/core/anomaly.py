@@ -1,0 +1,156 @@
+"""Magnetic-disturbance detection — trust management for the heading.
+
+The arctangent makes the compass insensitive to the field *magnitude*
+(§4), but the magnitude is still measured for free by the counter pair
+(``|count| = ticks·|H|/Ha``), and it is the best available tell that the
+heading should not be trusted:
+
+* magnitude far **below** the terrestrial band → shielding, or the
+  vertical-field-only situation near the magnetic poles,
+* magnitude far **above** it → a magnet, a car body, a steel desk — the
+  classic compass-watch failure, where the *heading* still looks
+  perfectly plausible,
+* a magnitude **jump** between consecutive measurements while the
+  heading also jumps → a local disturbance moved, not the user.
+
+Real compass watches (and every modern phone compass) implement exactly
+this check; the paper's system has all the information needed and this
+module supplies the logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..units import (
+    EARTH_FIELD_MAX_T,
+    EARTH_FIELD_MIN_T,
+    angular_difference_deg,
+)
+from .heading import HeadingMeasurement
+
+
+class FieldVerdict(enum.Enum):
+    """Trust classification of one measurement."""
+
+    OK = "ok"
+    TOO_WEAK = "too-weak"
+    TOO_STRONG = "too-strong"
+    UNSTABLE = "unstable"
+
+
+@dataclass(frozen=True)
+class DetectorSettings:
+    """Disturbance-detector thresholds.
+
+    Attributes
+    ----------
+    min_field_t, max_field_t:
+        Accepted horizontal-magnitude band [T].  Defaults: the paper's
+        worldwide 25…65 µT with a ±30 % margin for horizontal-component
+        variation with latitude.
+    max_magnitude_jump:
+        Relative magnitude change between consecutive measurements above
+        which (combined with a heading jump) the reading is flagged
+        unstable.
+    max_heading_jump_deg:
+        Heading change that counts as a jump for the stability check.
+    """
+
+    min_field_t: float = EARTH_FIELD_MIN_T * 0.5
+    max_field_t: float = EARTH_FIELD_MAX_T * 1.3
+    max_magnitude_jump: float = 0.25
+    max_heading_jump_deg: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_field_t < self.max_field_t:
+            raise ConfigurationError("field band must satisfy 0 < min < max")
+        if self.max_magnitude_jump <= 0.0 or self.max_heading_jump_deg <= 0.0:
+            raise ConfigurationError("jump thresholds must be positive")
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """One classified measurement."""
+
+    verdict: FieldVerdict
+    measurement: HeadingMeasurement
+    detail: str
+
+    @property
+    def trusted(self) -> bool:
+        return self.verdict is FieldVerdict.OK
+
+
+class FieldAnomalyDetector:
+    """Stateful trust filter over a stream of heading measurements."""
+
+    def __init__(self, settings: DetectorSettings = DetectorSettings()):
+        self.settings = settings
+        self._previous: Optional[HeadingMeasurement] = None
+        self.history: List[AnomalyReport] = []
+
+    def reset(self) -> None:
+        self._previous = None
+        self.history = []
+
+    def check(self, measurement: HeadingMeasurement) -> AnomalyReport:
+        """Classify one measurement and update the stream state."""
+        s = self.settings
+        field_t = measurement.field_estimate_tesla
+        if field_t < s.min_field_t:
+            report = AnomalyReport(
+                FieldVerdict.TOO_WEAK,
+                measurement,
+                f"|H| = {field_t * 1e6:.1f} µT below the "
+                f"{s.min_field_t * 1e6:.1f} µT floor (shielding or "
+                "near-vertical field)",
+            )
+        elif field_t > s.max_field_t:
+            report = AnomalyReport(
+                FieldVerdict.TOO_STRONG,
+                measurement,
+                f"|H| = {field_t * 1e6:.1f} µT above the "
+                f"{s.max_field_t * 1e6:.1f} µT ceiling (magnetised object "
+                "nearby)",
+            )
+        elif self._previous is not None and self._is_jump(measurement):
+            report = AnomalyReport(
+                FieldVerdict.UNSTABLE,
+                measurement,
+                "field magnitude and heading jumped together: local "
+                "disturbance in motion",
+            )
+        else:
+            report = AnomalyReport(FieldVerdict.OK, measurement, "")
+        self._previous = measurement
+        self.history.append(report)
+        return report
+
+    def _is_jump(self, measurement: HeadingMeasurement) -> bool:
+        s = self.settings
+        previous = self._previous
+        prev_field = previous.field_estimate_a_per_m
+        if prev_field <= 0.0:
+            return False
+        magnitude_jump = (
+            abs(measurement.field_estimate_a_per_m - prev_field) / prev_field
+        )
+        heading_jump = abs(
+            angular_difference_deg(
+                measurement.heading_deg, previous.heading_deg
+            )
+        )
+        return (
+            magnitude_jump > s.max_magnitude_jump
+            and heading_jump > s.max_heading_jump_deg
+        )
+
+    def trusted_fraction(self) -> float:
+        """Fraction of checked measurements classified OK."""
+        if not self.history:
+            raise ConfigurationError("no measurements checked yet")
+        return sum(1 for r in self.history if r.trusted) / len(self.history)

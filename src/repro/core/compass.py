@@ -1,0 +1,210 @@
+"""The integrated compass system — the paper's headline artefact (Figure 1).
+
+:class:`IntegratedCompass` wires together every subsystem exactly as the
+block diagram shows: the orthogonal fluxgate pair, the multiplexed
+analogue front-end, and the digital back-end (counter → CORDIC → display,
+plus the watch).  One call to :meth:`measure_heading` performs the full
+closed loop the silicon performs: excite x, count, excite y, count,
+compute the arctangent, update the display.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..analog.frontend import AnalogFrontEnd, FrontEndConfig
+from ..analog.mux import MeasurementSchedule
+from ..digital.backend import DigitalBackEnd
+from ..digital.counter import CounterConfig
+from ..digital.display import DisplayFrame, DisplayMode
+from ..errors import ConfigurationError
+from ..physics.earth_field import FieldVector
+from ..sensors.pair import IDEAL_PAIR, OrthogonalSensorPair, PairImperfections
+from ..sensors.parameters import FluxgateParameters, IDEAL_TARGET
+from ..simulation.engine import TimeGrid
+from ..units import CORDIC_ITERATIONS
+from .heading import HeadingMeasurement
+
+
+@dataclass(frozen=True)
+class CompassConfig:
+    """Everything configurable about the compass in one record.
+
+    The defaults reproduce the paper's design point: ideal-target sensors,
+    tanh (ELDO-style) cores, 12 mA pp / 8 kHz excitation, an 8-period
+    counting window per channel, a 16-bit counter at 4.194304 MHz and an
+    8-iteration CORDIC.
+    """
+
+    sensor: FluxgateParameters = IDEAL_TARGET
+    core_model: str = "tanh"
+    imperfections: PairImperfections = IDEAL_PAIR
+    front_end: FrontEndConfig = FrontEndConfig()
+    schedule: MeasurementSchedule = MeasurementSchedule()
+    counter: CounterConfig = CounterConfig()
+    cordic_iterations: int = CORDIC_ITERATIONS
+    samples_per_period: int = TimeGrid.DEFAULT_SAMPLES_PER_PERIOD
+
+
+class IntegratedCompass:
+    """The complete electronic compass of the paper.
+
+    Parameters
+    ----------
+    config:
+        See :class:`CompassConfig`; the default is the paper's design
+        point.
+
+    Examples
+    --------
+    >>> compass = IntegratedCompass()
+    >>> m = compass.measure_heading(true_heading_deg=45.0)
+    >>> round(m.heading_deg) in (44, 45, 46)
+    True
+    """
+
+    def __init__(self, config: CompassConfig = CompassConfig()):
+        self.config = config
+        self.sensors = OrthogonalSensorPair(
+            config.sensor,
+            core_model=config.core_model,
+            imperfections=config.imperfections,
+        )
+        self.front_end = AnalogFrontEnd(config.front_end)
+        self.back_end = DigitalBackEnd(
+            counter_config=config.counter,
+            cordic_iterations=config.cordic_iterations,
+            schedule=config.schedule,
+        )
+        # Fail fast on a sensor the excitation cannot saturate (§2.1.1's
+        # measured Kaw95 device) instead of erroring mid-measurement.
+        amplitude = config.front_end.excitation.current_amplitude
+        if not config.sensor.saturates_with(amplitude):
+            raise ConfigurationError(
+                f"sensor {config.sensor.name!r} (HK = "
+                f"{config.sensor.core.anisotropy_field:.0f} A/m) is not "
+                f"saturated by ±{amplitude * 1e3:.1f} mA excitation; "
+                "the compass cannot operate (cf. §2.1.1 of the paper)"
+            )
+
+    # -- measurement ----------------------------------------------------------
+
+    def _channel_grid(self) -> TimeGrid:
+        """Measurement grid, synchronised to the *actual* oscillator rate.
+
+        The control logic derives the counting window from the excitation
+        itself (a comparator on the triangle), so a tolerance-shifted
+        oscillator still gets an integer number of its own periods — the
+        duty-cycle arithmetic stays exact.  Only the counter's crystal
+        clock is asynchronous, as in the silicon.
+        """
+        schedule = self.config.schedule
+        return TimeGrid(
+            n_periods=schedule.settle_periods + schedule.count_periods,
+            samples_per_period=self.config.samples_per_period,
+            frequency_hz=self.front_end.excitation.oscillator.params.frequency_hz,
+        )
+
+    def measure_components(
+        self, h_x: float, h_y: float
+    ) -> HeadingMeasurement:
+        """Measure from explicit axis field components [A/m].
+
+        The lowest-level entry point: drives the multiplexed front-end
+        once per channel and runs the digital back-end.
+        """
+        schedule = self.config.schedule
+        grid = self._channel_grid()
+        settle_time = schedule.settle_periods * grid.period
+        t0, t1 = grid.window()
+        count_window = (t0 + settle_time, t1)
+
+        self.front_end.enable()
+        meas_x = self.front_end.measure_channel(
+            self.sensors.sensor_x, "x", h_x, grid
+        )
+        meas_y = self.front_end.measure_channel(
+            self.sensors.sensor_y, "y", h_y, grid
+        )
+        self.front_end.disable()
+
+        result = self.back_end.process_measurement(
+            meas_x.detector_output,
+            meas_y.detector_output,
+            window_x=count_window,
+            window_y=count_window,
+        )
+        # The counter pair also encodes the field *magnitude*:
+        # |count| = ticks · |H| / Ha.  The arctangent discards it, but it
+        # is free diagnostic information (see repro.core.anomaly).
+        ticks = result.x_result.total_ticks
+        amplitude = self.config.front_end.excitation.current_amplitude
+        h_amp = self.config.sensor.excitation_coil_constant * amplitude
+        field_estimate = (
+            math.hypot(result.x_count, result.y_count) * h_amp / ticks
+        )
+        return HeadingMeasurement(
+            heading_deg=result.heading_deg,
+            x_count=result.x_count,
+            y_count=result.y_count,
+            duty_x=meas_x.detector_output.duty_cycle(),
+            duty_y=meas_y.detector_output.duty_cycle(),
+            measurement_time_s=self.back_end.controller.measurement_duration(),
+            cordic_cycles=result.cordic_cycles,
+            field_estimate_a_per_m=field_estimate,
+        )
+
+    def measure_heading(
+        self,
+        true_heading_deg: float,
+        field_magnitude_t: float = 50.0e-6,
+    ) -> HeadingMeasurement:
+        """Closed-loop measurement at a known true heading.
+
+        Parameters
+        ----------
+        true_heading_deg:
+            Actual orientation of the compass body, degrees clockwise from
+            magnetic north.
+        field_magnitude_t:
+            Horizontal geomagnetic flux density [T]; the paper's worldwide
+            range is 25…65 µT.
+        """
+        h_x, h_y = self.sensors.axis_fields_from_tesla(
+            field_magnitude_t, true_heading_deg
+        )
+        return self.measure_components(h_x, h_y)
+
+    def measure_in_field(
+        self, field: FieldVector, true_heading_deg: float
+    ) -> HeadingMeasurement:
+        """Measure in a geomagnetic field vector (uses its horizontal part).
+
+        The returned heading is relative to *magnetic* north; add the
+        field's declination for geographic north.
+        """
+        return self.measure_heading(true_heading_deg, field.horizontal)
+
+    # -- watch / display passthroughs ---------------------------------------------
+
+    def set_time(self, hours: int, minutes: int, seconds: int = 0) -> None:
+        self.back_end.watch.set_time(hours, minutes, seconds)
+
+    def select_display(self, mode: DisplayMode) -> None:
+        self.back_end.display.select_mode(mode)
+
+    def read_display(self) -> DisplayFrame:
+        return self.back_end.render_display()
+
+    # -- design introspection -------------------------------------------------------
+
+    def update_rate_hz(self) -> float:
+        """Maximum heading update rate [Hz]."""
+        return 1.0 / self.back_end.controller.measurement_duration()
+
+    def count_full_scale(self) -> int:
+        """Counter value corresponding to the full measurable field."""
+        schedule = self.config.schedule
+        window = schedule.count_periods / self.front_end.excitation.oscillator.params.frequency_hz
+        return self.back_end.counter.count_resolution_ticks(window)

@@ -1,0 +1,200 @@
+"""The compass watch as a running device — the firmware loop.
+
+Everything else in :mod:`repro.core` measures once; a worn device runs a
+*session*: the watch keeps time continuously, a heading is measured on a
+schedule (or on a button press), each measurement passes the disturbance
+detector before it reaches the display, and the power ledger integrates
+what the battery delivered.  :class:`CompassWatchDevice` is that loop —
+the integration surface an application (or the examples) drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..digital.display import DisplayFrame, DisplayMode
+from ..errors import ConfigurationError, ReproError
+from ..units import COUNTER_CLOCK_HZ
+from .anomaly import AnomalyReport, FieldAnomalyDetector, FieldVerdict
+from .compass import CompassConfig, IntegratedCompass
+from .heading import HeadingMeasurement
+from .power import PowerModel
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One logged event of a device session."""
+
+    time_s: float
+    kind: str            # "measurement", "rejected", "failed", "mode"
+    detail: str
+    measurement: Optional[HeadingMeasurement] = None
+
+
+class CompassWatchDevice:
+    """A compass watch running in simulated wall-clock time.
+
+    Parameters
+    ----------
+    config:
+        Compass hardware configuration.
+    measurement_interval_s:
+        Automatic heading-update period; ``None`` disables automatic
+        measurements (button-press only).
+    """
+
+    def __init__(
+        self,
+        config: CompassConfig = CompassConfig(),
+        measurement_interval_s: Optional[float] = 1.0,
+    ):
+        if measurement_interval_s is not None and measurement_interval_s <= 0.0:
+            raise ConfigurationError("measurement interval must be positive")
+        self.compass = IntegratedCompass(config)
+        self.detector = FieldAnomalyDetector()
+        self.power_model = PowerModel()
+        self.measurement_interval_s = measurement_interval_s
+        self.events: List[SessionEvent] = []
+        self._time_s = 0.0
+        self._last_auto_measurement_s: Optional[float] = None
+        self._last_good: Optional[HeadingMeasurement] = None
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def time_s(self) -> float:
+        return self._time_s
+
+    def advance(
+        self,
+        seconds: float,
+        true_heading_deg: float,
+        field_magnitude_t: float = 50.0e-6,
+    ) -> List[SessionEvent]:
+        """Run the device forward in time under a constant environment.
+
+        The watch divider consumes the elapsed crystal cycles; automatic
+        measurements fire at the configured interval against the supplied
+        environment.  Returns the events of this advance.
+        """
+        if seconds < 0.0:
+            raise ConfigurationError("time only advances")
+        start_index = len(self.events)
+        end_time = self._time_s + seconds
+        while True:
+            next_measurement = self._next_auto_time()
+            if next_measurement is None or next_measurement > end_time:
+                break
+            self._step_clock_to(next_measurement)
+            self._measure(true_heading_deg, field_magnitude_t, auto=True)
+        self._step_clock_to(end_time)
+        return self.events[start_index:]
+
+    def _next_auto_time(self) -> Optional[float]:
+        if self.measurement_interval_s is None:
+            return None
+        if self._last_auto_measurement_s is None:
+            return self._time_s + self.measurement_interval_s
+        return self._last_auto_measurement_s + self.measurement_interval_s
+
+    def _step_clock_to(self, target_s: float) -> None:
+        delta = target_s - self._time_s
+        if delta > 0.0:
+            self.compass.back_end.watch.clock(int(round(delta * COUNTER_CLOCK_HZ)))
+            self._time_s = target_s
+
+    # -- measurement ---------------------------------------------------------
+
+    def press_measure_button(
+        self, true_heading_deg: float, field_magnitude_t: float = 50.0e-6
+    ) -> SessionEvent:
+        """A manual heading request, logged like the automatic ones."""
+        return self._measure(true_heading_deg, field_magnitude_t, auto=False)
+
+    def _measure(
+        self, true_heading_deg: float, field_magnitude_t: float, auto: bool
+    ) -> SessionEvent:
+        if auto:
+            self._last_auto_measurement_s = self._time_s
+        try:
+            measurement = self.compass.measure_heading(
+                true_heading_deg, field_magnitude_t
+            )
+        except ReproError as error:
+            event = SessionEvent(
+                self._time_s, "failed", f"measurement error: {error}"
+            )
+            self.events.append(event)
+            return event
+        report = self.detector.check(measurement)
+        if report.trusted:
+            self._last_good = measurement
+            event = SessionEvent(
+                self._time_s,
+                "measurement",
+                f"heading {measurement.heading_deg:.2f} deg",
+                measurement,
+            )
+        else:
+            event = SessionEvent(
+                self._time_s,
+                "rejected",
+                f"{report.verdict.value}: {report.detail}",
+                measurement,
+            )
+        self.events.append(event)
+        return event
+
+    # -- user interface -----------------------------------------------------------
+
+    def press_mode_button(self) -> DisplayMode:
+        """Toggle direction/time display, logged."""
+        mode = self.compass.back_end.display.toggle_mode()
+        self.events.append(
+            SessionEvent(self._time_s, "mode", f"display mode {mode.value}")
+        )
+        return mode
+
+    def read_display(self) -> DisplayFrame:
+        """What the glass shows right now.
+
+        In direction mode the display holds the last *trusted* heading —
+        a rejected measurement never reaches the user.
+        """
+        display = self.compass.back_end.display
+        watch = self.compass.back_end.watch
+        heading = self._last_good.heading_deg if self._last_good else 0.0
+        return display.render(
+            heading_deg=heading,
+            hours=watch.time.hours,
+            minutes=watch.time.minutes,
+            blink_phase=watch.blink_phase,
+        )
+
+    # -- session accounting --------------------------------------------------------
+
+    def measurement_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "measurement")
+
+    def rejection_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "rejected")
+
+    def charge_consumed_coulombs(self) -> float:
+        """Battery charge for the session so far [C].
+
+        Keep-alive (watch + control) runs the whole session; the gated
+        blocks are billed per measurement via the controller duty model.
+        """
+        if self._time_s <= 0.0:
+            return 0.0
+        report = self.power_model.gated(repetition_period=1.0)
+        keep_alive = (
+            report.block_currents["watch_display"]
+            + report.block_currents["control"]
+        )
+        per_second_gated = report.total_current - keep_alive
+        n_measurements = self.measurement_count() + self.rejection_count()
+        return (
+            keep_alive * self._time_s + per_second_gated * n_measurements
+        )

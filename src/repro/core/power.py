@@ -1,0 +1,231 @@
+"""Power accounting for the compass system.
+
+Two of the paper's design decisions are power decisions:
+
+* §2: "The system uses a multiplexing technique by exciting one sensor at
+  a time.  This reduces both momental power consumption and chip area
+  since only one oscillator is needed."
+* §4: the control logic "enables the analogue section and the digital high
+  speed up-down counter only when they are needed, in order to diminish
+  the power consumption further".
+
+The model assigns each block a supply current while active (derived from
+the paper's electrical operating points where it gives them — the
+excitation current dominates) and integrates over the controller's enable
+schedule.  Benches MUX1 and GATE1 print the comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..analog.mux import MeasurementSchedule
+from ..digital.control import CompassController
+from ..errors import ConfigurationError
+from ..units import (
+    COUNTER_CLOCK_HZ,
+    EXCITATION_CURRENT_PP,
+    SUPPLY_VOLTAGE,
+)
+
+#: RMS of a triangular wave relative to its peak.
+_TRIANGLE_RMS = 1.0 / (3.0**0.5)
+
+
+def excitation_supply_current(
+    current_pp: float = EXCITATION_CURRENT_PP,
+) -> float:
+    """Average supply current of one live excitation channel [A].
+
+    A class-B differential V-I stage sources the triangular load current
+    from the supply; its average magnitude is half the peak (triangle),
+    plus a 0.5 mA bias overhead for the converter and oscillator core.
+    """
+    if current_pp <= 0.0:
+        raise ConfigurationError("excitation current must be positive")
+    peak = current_pp / 2.0
+    return peak / 2.0 + 0.5e-3
+
+
+def digital_dynamic_current(
+    n_gates: int,
+    activity: float,
+    clock_hz: float = COUNTER_CLOCK_HZ,
+    supply: float = SUPPLY_VOLTAGE,
+    node_capacitance: float = 150e-15,
+) -> float:
+    """Average dynamic supply current of a gated digital block [A].
+
+    ``I = N · α · C · V · f`` — the standard CMOS dynamic-power estimate
+    with 150 fF of switched capacitance per 1997-era Sea-of-Gates gate.
+    """
+    if n_gates < 0 or not 0.0 <= activity <= 1.0:
+        raise ConfigurationError("invalid gate count or activity factor")
+    return n_gates * activity * node_capacitance * supply * clock_hz
+
+
+@dataclass(frozen=True)
+class BlockPower:
+    """One block's supply current when active and when gated off."""
+
+    name: str
+    active_current: float
+    idle_current: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.active_current < 0.0 or self.idle_current < 0.0:
+            raise ConfigurationError("currents must be non-negative")
+
+    def average_current(self, duty: float) -> float:
+        """Average current at a given enable duty cycle [A]."""
+        if not 0.0 <= duty <= 1.0:
+            raise ConfigurationError("duty must be within [0, 1]")
+        return duty * self.active_current + (1.0 - duty) * self.idle_current
+
+
+def default_blocks() -> Dict[str, BlockPower]:
+    """The compass's power inventory at the paper's operating point."""
+    return {
+        "excitation": BlockPower(
+            "excitation", active_current=excitation_supply_current()
+        ),
+        "amplifier_comparators": BlockPower(
+            "amplifier_comparators", active_current=0.4e-3
+        ),
+        "counter": BlockPower(
+            "counter",
+            active_current=digital_dynamic_current(n_gates=120, activity=0.5),
+        ),
+        "cordic": BlockPower(
+            "cordic",
+            active_current=digital_dynamic_current(n_gates=900, activity=0.3),
+        ),
+        "control": BlockPower(
+            "control",
+            active_current=digital_dynamic_current(n_gates=200, activity=0.05),
+            idle_current=digital_dynamic_current(n_gates=200, activity=0.01),
+        ),
+        # The watch divider and LCD never gate off: they keep time.
+        "watch_display": BlockPower(
+            "watch_display",
+            active_current=digital_dynamic_current(n_gates=400, activity=0.02),
+            idle_current=digital_dynamic_current(n_gates=400, activity=0.02),
+        ),
+    }
+
+
+@dataclass
+class PowerReport:
+    """Average power breakdown of one operating scenario."""
+
+    scenario: str
+    supply_voltage: float
+    block_currents: Mapping[str, float]
+
+    @property
+    def total_current(self) -> float:
+        return sum(self.block_currents.values())
+
+    @property
+    def total_power(self) -> float:
+        """Average power [W]."""
+        return self.total_current * self.supply_voltage
+
+    def as_table(self) -> str:
+        lines = [f"scenario: {self.scenario} @ {self.supply_voltage:.1f} V"]
+        for name, current in sorted(self.block_currents.items()):
+            lines.append(f"  {name:<24} {current * 1e3:8.4f} mA")
+        lines.append(f"  {'TOTAL':<24} {self.total_current * 1e3:8.4f} mA "
+                     f"({self.total_power * 1e3:.3f} mW)")
+        return "\n".join(lines)
+
+
+class PowerModel:
+    """Integrates block power over the controller's gating schedule."""
+
+    def __init__(
+        self,
+        blocks: Dict[str, BlockPower] = None,
+        supply_voltage: float = SUPPLY_VOLTAGE,
+    ):
+        if supply_voltage <= 0.0:
+            raise ConfigurationError("supply voltage must be positive")
+        self.blocks = blocks if blocks is not None else default_blocks()
+        self.supply_voltage = supply_voltage
+
+    # -- scenarios ------------------------------------------------------------------
+
+    def gated(
+        self,
+        schedule: MeasurementSchedule = MeasurementSchedule(),
+        repetition_period: float = 1.0,
+    ) -> PowerReport:
+        """The paper's design: everything enabled only when needed."""
+        controller = CompassController(schedule=schedule)
+        duties = controller.block_duty_cycles(repetition_period)
+        analog_duty = duties["analog_front_end"]
+        currents = {
+            "excitation": self.blocks["excitation"].average_current(analog_duty),
+            "amplifier_comparators": self.blocks[
+                "amplifier_comparators"
+            ].average_current(analog_duty),
+            "counter": self.blocks["counter"].average_current(duties["counter"]),
+            "cordic": self.blocks["cordic"].average_current(duties["cordic"]),
+            "control": self.blocks["control"].average_current(1.0),
+            "watch_display": self.blocks["watch_display"].average_current(1.0),
+        }
+        return PowerReport("gated (paper design)", self.supply_voltage, currents)
+
+    def always_on(self) -> PowerReport:
+        """No power gating: every block runs continuously."""
+        currents = {
+            name: block.average_current(1.0) for name, block in self.blocks.items()
+        }
+        return PowerReport("always-on", self.supply_voltage, currents)
+
+    def simultaneous_excitation(
+        self,
+        schedule: MeasurementSchedule = MeasurementSchedule(),
+        repetition_period: float = 1.0,
+    ) -> PowerReport:
+        """Hypothetical non-multiplexed design: both sensors driven at once.
+
+        Two live excitation channels and two oscillators; the measurement
+        halves in duration (both channels counted together), but the
+        *momental* (peak) analogue power doubles — §2's argument.
+        """
+        controller = CompassController(schedule=schedule)
+        # Both channels measured in parallel: the x and y slots overlap, so
+        # the analogue on-time halves while two channels draw current.
+        duties = controller.block_duty_cycles(repetition_period)
+        analog_duty = duties["analog_front_end"] / 2.0
+        counter_duty = duties["counter"] / 2.0
+        currents = {
+            "excitation": 2.0
+            * self.blocks["excitation"].average_current(analog_duty),
+            "amplifier_comparators": 2.0
+            * self.blocks["amplifier_comparators"].average_current(analog_duty),
+            "counter": 2.0 * self.blocks["counter"].average_current(counter_duty),
+            "cordic": self.blocks["cordic"].average_current(duties["cordic"]),
+            "control": self.blocks["control"].average_current(1.0),
+            "watch_display": self.blocks["watch_display"].average_current(1.0),
+        }
+        return PowerReport(
+            "simultaneous excitation (hypothetical)",
+            self.supply_voltage,
+            currents,
+        )
+
+    def momental_analog_power(self, multiplexed: bool) -> float:
+        """Peak instantaneous analogue power while measuring [W].
+
+        The §2 claim is about this number: multiplexing halves it because
+        only one excitation channel is live at any instant.
+        """
+        channels = 1 if multiplexed else 2
+        current = channels * (
+            self.blocks["excitation"].active_current
+            + self.blocks["amplifier_comparators"].active_current
+        )
+        return current * self.supply_voltage

@@ -1,0 +1,81 @@
+"""Digital back-end: counter, CORDIC, control, display, watch."""
+
+from .atan_rom import (
+    ANGLE_FRAC_BITS,
+    algorithmic_residual_deg,
+    build_rom,
+    max_representable_angle_deg,
+    rotation_angle_deg,
+)
+from .backend import BackEndResult, DigitalBackEnd
+from .bcd import BCDChain, BCDDigit, BCDTimeCounter
+from .control import CompassController, ControllerState, EnableSignals
+from .cordic import CordicArctan, CordicResult, CordicStep, greedy_arctan_float
+from .counter import CounterConfig, CountResult, UpDownCounter
+from .display import (
+    CARDINALS,
+    DisplayDriver,
+    DisplayFrame,
+    DisplayMode,
+    decode_glyph,
+    encode_glyph,
+    nearest_cardinal,
+)
+from .fixed_point import (
+    fits_signed,
+    from_fixed,
+    require_fits,
+    saturate_signed,
+    to_fixed,
+    truncating_shift_right,
+    wrap_signed,
+)
+from .watch import (
+    DIVIDER_STAGES,
+    RippleDivider,
+    Stopwatch,
+    TimeOfDay,
+    WatchTimekeeper,
+)
+
+__all__ = [
+    "ANGLE_FRAC_BITS",
+    "BackEndResult",
+    "BCDChain",
+    "BCDDigit",
+    "BCDTimeCounter",
+    "CARDINALS",
+    "CompassController",
+    "ControllerState",
+    "CordicArctan",
+    "CordicResult",
+    "CordicStep",
+    "CountResult",
+    "CounterConfig",
+    "DIVIDER_STAGES",
+    "DigitalBackEnd",
+    "DisplayDriver",
+    "DisplayFrame",
+    "DisplayMode",
+    "EnableSignals",
+    "RippleDivider",
+    "Stopwatch",
+    "TimeOfDay",
+    "UpDownCounter",
+    "WatchTimekeeper",
+    "algorithmic_residual_deg",
+    "build_rom",
+    "decode_glyph",
+    "encode_glyph",
+    "fits_signed",
+    "from_fixed",
+    "greedy_arctan_float",
+    "max_representable_angle_deg",
+    "nearest_cardinal",
+    "require_fits",
+    "rotation_angle_deg",
+    "saturate_signed",
+    "to_fixed",
+    "truncating_shift_right",
+    "wrap_signed",
+]

@@ -1,0 +1,79 @@
+"""The arctangent ROM of the CORDIC datapath (Figure 8's ``atanrom``).
+
+Each CORDIC iteration ``i`` rotates by ``atan(1/2^i)``; the ROM stores
+those angles as fixed-point integers.  The paper's datapath reaches 1°
+accuracy in 8 cycles, which needs the ROM quantisation to sit well below
+1°: with 8 fractional bits (1/256°) the worst accumulated ROM error over
+8 iterations is ~0.016°, negligible against the algorithmic residual
+``atan(1/128) ≈ 0.45°``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from .fixed_point import from_fixed, to_fixed
+
+#: Fixed-point fractional bits of the angle accumulator (1 LSB = 1/256°).
+ANGLE_FRAC_BITS = 8
+
+#: Largest iteration count any configuration of the datapath supports.
+MAX_ITERATIONS = 20
+
+
+def rotation_angle_deg(iteration: int) -> float:
+    """Exact rotation angle of iteration ``i``: ``atan(2^-i)`` [degrees]."""
+    if iteration < 0:
+        raise ConfigurationError("iteration index must be non-negative")
+    return math.degrees(math.atan(2.0**-iteration))
+
+
+def build_rom(
+    iterations: int, frac_bits: int = ANGLE_FRAC_BITS
+) -> Tuple[int, ...]:
+    """Quantised ROM contents for a given iteration count.
+
+    Entry ``i`` is ``round(atan(2^-i) · 2^frac_bits)`` — degrees in
+    fixed point, matching the ``res := res + atanrom(shift)`` accumulation
+    of Figure 8.
+    """
+    if not 1 <= iterations <= MAX_ITERATIONS:
+        raise ConfigurationError(
+            f"iterations must be 1..{MAX_ITERATIONS}, got {iterations}"
+        )
+    if not 1 <= frac_bits <= 24:
+        raise ConfigurationError("frac_bits must be 1..24")
+    return tuple(
+        to_fixed(rotation_angle_deg(i), frac_bits) for i in range(iterations)
+    )
+
+
+def rom_entry_degrees(entry: int, frac_bits: int = ANGLE_FRAC_BITS) -> float:
+    """Convert one ROM word back to degrees."""
+    return from_fixed(entry, frac_bits)
+
+
+def max_representable_angle_deg(
+    iterations: int, frac_bits: int = ANGLE_FRAC_BITS
+) -> float:
+    """Largest angle the greedy accumulation can reach [degrees].
+
+    The sum of all ROM angles; for 8 iterations ≈ 99.9°, comfortably
+    covering the 0–90° octant the quadrant folder hands to the core.
+    """
+    rom = build_rom(iterations, frac_bits)
+    return from_fixed(sum(rom), frac_bits)
+
+
+def algorithmic_residual_deg(iterations: int) -> float:
+    """Residual angle resolution after ``n`` iterations [degrees].
+
+    The finest rotation the datapath can apply is the last ROM entry
+    ``atan(2^-(n-1))``; headings can be off by up to about half of it even
+    with perfect inputs.  For the paper's 8 iterations this is
+    ``atan(1/128) ≈ 0.448°`` — the source of the "accuracy of one degree"
+    figure.
+    """
+    return rotation_angle_deg(iterations - 1)

@@ -1,0 +1,118 @@
+"""The complete digital back-end of Figure 1 (§4).
+
+Counter + CORDIC + control logic + display + watch, composed exactly as
+the block diagram shows: the back-end consumes the two detector outputs
+(one per multiplexed channel slot), produces the integer pair (x, y), runs
+the arctangent, and hands the result to the display driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..analog.mux import MeasurementSchedule
+from ..analog.pulse_detector import DetectorOutput
+from ..errors import ProtocolError
+from ..units import CORDIC_ITERATIONS
+from .control import CompassController
+from .cordic import CordicArctan
+from .counter import CounterConfig, CountResult, UpDownCounter
+from .display import DisplayDriver, DisplayFrame
+from .watch import WatchTimekeeper
+
+
+@dataclass(frozen=True)
+class BackEndResult:
+    """One complete digital measurement."""
+
+    x_count: int
+    y_count: int
+    heading_deg: float
+    cordic_cycles: int
+    x_result: CountResult
+    y_result: CountResult
+
+
+class DigitalBackEnd:
+    """Pulse count + arctan + control + watch/display (Figure 1 right)."""
+
+    #: Minimum counter magnitude (on the larger axis) for a heading to be
+    #: trusted: below this the counts are dominated by the ±1 window
+    #: quantisation and the arctangent would be noise.  16 counts is
+    #: ~0.4 % of the default 8-period full scale (≈ 0.3 µT) — far below
+    #: any terrestrial operating point.
+    MINIMUM_COUNT = 16
+
+    def __init__(
+        self,
+        counter_config: CounterConfig = CounterConfig(),
+        cordic_iterations: int = CORDIC_ITERATIONS,
+        schedule: MeasurementSchedule = MeasurementSchedule(),
+    ):
+        self.counter = UpDownCounter(counter_config)
+        self.cordic = CordicArctan(iterations=cordic_iterations)
+        self.controller = CompassController(
+            schedule=schedule,
+            cordic_iterations=cordic_iterations,
+            clock_hz=counter_config.clock_hz,
+        )
+        self.display = DisplayDriver()
+        self.watch = WatchTimekeeper(crystal_hz=counter_config.clock_hz)
+        self.schedule = schedule
+        self._last_result: Optional[BackEndResult] = None
+
+    def process_measurement(
+        self,
+        detector_x: DetectorOutput,
+        detector_y: DetectorOutput,
+        window_x: Tuple[float, float] = None,
+        window_y: Tuple[float, float] = None,
+    ) -> BackEndResult:
+        """Count both channels and compute the heading.
+
+        The controller sequences the power enables; the counter integrates
+        each channel over its (settled) window; the CORDIC turns the
+        integer pair into a heading.
+        """
+        self.controller.run_measurement()
+        self.counter.enable()
+        x_result = self.counter.count_window(detector_x, window_x)
+        y_result = self.counter.count_window(detector_y, window_y)
+        self.counter.disable()
+
+        if max(abs(x_result.count), abs(y_result.count)) < self.MINIMUM_COUNT:
+            raise ProtocolError(
+                f"field too weak: counter pair ({x_result.count}, "
+                f"{y_result.count}) below the {self.MINIMUM_COUNT}-count "
+                "trust threshold — no heading computed"
+            )
+        cordic_result = self.cordic.arctan_first_quadrant(
+            abs(-y_result.count), abs(x_result.count)
+        )
+        heading = self.cordic.heading_degrees(x_result.count, y_result.count)
+
+        result = BackEndResult(
+            x_count=x_result.count,
+            y_count=y_result.count,
+            heading_deg=heading,
+            cordic_cycles=cordic_result.cycles,
+            x_result=x_result,
+            y_result=y_result,
+        )
+        self._last_result = result
+        return result
+
+    @property
+    def last_result(self) -> Optional[BackEndResult]:
+        return self._last_result
+
+    def render_display(self) -> DisplayFrame:
+        """Render the LCD with the latest heading (or the time)."""
+        heading = self._last_result.heading_deg if self._last_result else 0.0
+        return self.display.render(
+            heading_deg=heading,
+            hours=self.watch.time.hours,
+            minutes=self.watch.time.minutes,
+            blink_phase=self.watch.blink_phase,
+        )

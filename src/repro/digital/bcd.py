@@ -1,0 +1,128 @@
+"""BCD counters — how a watch chip actually counts time.
+
+The time-of-day model in :mod:`repro.digital.watch` is behavioural
+(binary seconds).  Real watch chips count in binary-coded decimal so the
+digits feed the segment decoder directly, with per-digit wrap limits
+(units-of-seconds wraps at 9, tens-of-seconds at 5, tens-of-hours
+jointly with hours at 23).  This module provides the BCD digit chain and
+a drop-in time counter whose digit outputs connect one-to-one to the
+display driver's glyphs — plus an equivalence check against the
+behavioural model in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from .watch import TimeOfDay
+
+
+class BCDDigit:
+    """One decade counter with a configurable wrap value."""
+
+    def __init__(self, wrap_at: int = 9):
+        if not 1 <= wrap_at <= 9:
+            raise ConfigurationError("BCD digit wraps between 1 and 9")
+        self.wrap_at = wrap_at
+        self.value = 0
+
+    def increment(self) -> bool:
+        """Count one; returns True on carry (wrap to zero)."""
+        if self.value >= self.wrap_at:
+            self.value = 0
+            return True
+        self.value += 1
+        return False
+
+    def reset(self) -> None:
+        self.value = 0
+
+    @property
+    def bits(self) -> Tuple[int, int, int, int]:
+        """The 8-4-2-1 output lines."""
+        return (
+            (self.value >> 3) & 1,
+            (self.value >> 2) & 1,
+            (self.value >> 1) & 1,
+            self.value & 1,
+        )
+
+
+class BCDChain:
+    """Cascaded BCD digits with ripple carry (least significant first)."""
+
+    def __init__(self, wraps: List[int]):
+        if not wraps:
+            raise ConfigurationError("chain needs at least one digit")
+        self.digits = [BCDDigit(w) for w in wraps]
+
+    def increment(self) -> bool:
+        """Count one; returns True if the whole chain wrapped."""
+        for digit in self.digits:
+            if not digit.increment():
+                return False
+        return True
+
+    def value(self) -> int:
+        """The chain's decimal value."""
+        total = 0
+        for digit in reversed(self.digits):
+            total = total * 10 + digit.value
+        return total
+
+    def set_value(self, value: int) -> None:
+        if value < 0:
+            raise ConfigurationError("BCD value must be non-negative")
+        for digit in self.digits:
+            digit.value = value % 10
+            if digit.value > digit.wrap_at:
+                raise ConfigurationError(
+                    f"digit value {digit.value} exceeds wrap {digit.wrap_at}"
+                )
+            value //= 10
+        if value:
+            raise ConfigurationError("value does not fit the chain")
+
+    def reset(self) -> None:
+        for digit in self.digits:
+            digit.reset()
+
+
+class BCDTimeCounter:
+    """HH:MM:SS in BCD, exactly as the watch silicon holds it.
+
+    Seconds and minutes are two independent 59-wrapping chains; the hour
+    pair wraps jointly at 23 (the tens-of-hours digit cannot use a fixed
+    per-digit wrap, the classic BCD-clock special case).
+    """
+
+    def __init__(self) -> None:
+        self.seconds = BCDChain([9, 5])   # units wrap 9, tens wrap 5
+        self.minutes = BCDChain([9, 5])
+        self.hours = BCDChain([9, 2])     # joint 23 handled in tick()
+
+    def tick_second(self) -> None:
+        """Advance one second with all the cascaded carries."""
+        if not self.seconds.increment():
+            return
+        if not self.minutes.increment():
+            return
+        self.hours.increment()
+        if self.hours.value() == 24:
+            self.hours.reset()
+
+    def set_time(self, hours: int, minutes: int, seconds: int = 0) -> None:
+        TimeOfDay(hours, minutes, seconds)  # reuse the validation
+        self.hours.set_value(hours)
+        self.minutes.set_value(minutes)
+        self.seconds.set_value(seconds)
+
+    def as_time_of_day(self) -> TimeOfDay:
+        return TimeOfDay(
+            self.hours.value(), self.minutes.value(), self.seconds.value()
+        )
+
+    def display_digits(self) -> str:
+        """The four HH:MM characters the display driver shows."""
+        return f"{self.hours.value():02d}{self.minutes.value():02d}"

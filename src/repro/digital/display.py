@@ -1,0 +1,160 @@
+"""LCD display driver (§4).
+
+"The digital part contains also common watch options as added features.
+The display driver selects either the direction or the time to display."
+
+The driver models a four-digit seven-segment LCD (the classic compass-
+watch glass): segment encoding, display multiplexing between DIRECTION and
+TIME modes, and the formatting rules:
+
+* DIRECTION mode shows the heading as three digits (``000``–``359``) plus
+  a cardinal letter in the leftmost digit (N/E/S/W for the nearest
+  cardinal),
+* TIME mode shows ``HH:MM`` with the colon driven by the 1 Hz blink
+  signal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+from ..units import wrap_degrees
+
+#: Segment bit order: (a, b, c, d, e, f, g) packed LSB-first into an int.
+SEGMENT_NAMES = ("a", "b", "c", "d", "e", "f", "g")
+
+#: Seven-segment glyphs.  Digits plus the letters the compass needs.
+_GLYPHS: Dict[str, int] = {
+    "0": 0b0111111,
+    "1": 0b0000110,
+    "2": 0b1011011,
+    "3": 0b1001111,
+    "4": 0b1100110,
+    "5": 0b1101101,
+    "6": 0b1111101,
+    "7": 0b0000111,
+    "8": 0b1111111,
+    "9": 0b1101111,
+    "N": 0b0110111,  # approximated as an inverted-U on 7 segments
+    "E": 0b1111001,
+    "S": 0b1101101,  # same glyph as 5
+    "W": 0b0111110,  # approximated as a U (shared with V)
+    "-": 0b1000000,
+    " ": 0b0000000,
+}
+
+
+def encode_glyph(char: str) -> int:
+    """Seven-segment pattern for one character (LSB = segment a)."""
+    if char not in _GLYPHS:
+        known = "".join(sorted(_GLYPHS))
+        raise ConfigurationError(f"no 7-segment glyph for {char!r}; have {known!r}")
+    return _GLYPHS[char]
+
+
+def decode_glyph(pattern: int) -> str:
+    """Inverse of :func:`encode_glyph` (first match wins; S/5 alias to '5')."""
+    for char, bits in _GLYPHS.items():
+        if bits == pattern:
+            return char
+    raise ConfigurationError(f"unknown segment pattern {pattern:#09b}")
+
+
+class DisplayMode(enum.Enum):
+    """What the driver shows — §4's "direction or the time" selector."""
+
+    DIRECTION = "direction"
+    TIME = "time"
+
+
+CARDINALS = ("N", "E", "S", "W")
+
+
+def nearest_cardinal(heading_deg: float) -> str:
+    """The cardinal letter shown next to the numeric heading."""
+    wrapped = wrap_degrees(heading_deg)
+    index = int((wrapped + 45.0) // 90.0) % 4
+    return CARDINALS[index]
+
+
+@dataclass(frozen=True)
+class DisplayFrame:
+    """One rendered frame of the 4-digit LCD.
+
+    Attributes
+    ----------
+    text:
+        Human-readable contents, 4 characters.
+    segments:
+        Per-digit segment patterns (LSB = segment a).
+    colon:
+        Whether the colon annunciator is lit.
+    """
+
+    text: str
+    segments: Tuple[int, int, int, int]
+    colon: bool
+
+
+class DisplayDriver:
+    """Formats headings and times into LCD frames."""
+
+    DIGITS = 4
+
+    def __init__(self) -> None:
+        self.mode = DisplayMode.DIRECTION
+
+    def select_mode(self, mode: DisplayMode) -> None:
+        if not isinstance(mode, DisplayMode):
+            raise ConfigurationError(f"not a display mode: {mode!r}")
+        self.mode = mode
+
+    def toggle_mode(self) -> DisplayMode:
+        """The watch's mode button."""
+        self.mode = (
+            DisplayMode.TIME
+            if self.mode is DisplayMode.DIRECTION
+            else DisplayMode.DIRECTION
+        )
+        return self.mode
+
+    # -- rendering ------------------------------------------------------------
+
+    def _frame_from_text(self, text: str, colon: bool) -> DisplayFrame:
+        if len(text) != self.DIGITS:
+            raise ConfigurationError(f"display text must be 4 chars: {text!r}")
+        segments = tuple(encode_glyph(c) for c in text)
+        return DisplayFrame(text=text, segments=segments, colon=colon)
+
+    def render_direction(self, heading_deg: float) -> DisplayFrame:
+        """DIRECTION mode: cardinal letter + rounded 3-digit heading.
+
+        359.7° rounds to 000, not 360 — the display wraps with the
+        compass.
+        """
+        wrapped = wrap_degrees(heading_deg)
+        rounded = int(round(wrapped)) % 360
+        text = f"{nearest_cardinal(wrapped)}{rounded:03d}"
+        return self._frame_from_text(text, colon=False)
+
+    def render_time(self, hours: int, minutes: int, blink_phase: bool = True) -> DisplayFrame:
+        """TIME mode: HH:MM with the 1 Hz colon blink."""
+        if not 0 <= hours <= 23 or not 0 <= minutes <= 59:
+            raise ConfigurationError(f"invalid time {hours:02d}:{minutes:02d}")
+        text = f"{hours:02d}{minutes:02d}"
+        return self._frame_from_text(text, colon=blink_phase)
+
+    def render(
+        self,
+        heading_deg: float,
+        hours: int,
+        minutes: int,
+        blink_phase: bool = True,
+    ) -> DisplayFrame:
+        """Render whatever the current mode selects."""
+        if self.mode is DisplayMode.DIRECTION:
+            return self.render_direction(heading_deg)
+        return self.render_time(hours, minutes, blink_phase)

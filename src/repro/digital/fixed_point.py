@@ -1,0 +1,92 @@
+"""Fixed-point register arithmetic helpers for the digital section.
+
+The compass's digital datapath (Figure 8) is integer hardware: counter
+values scaled by 128 (7 fractional bits), shift-and-add pseudo-rotations,
+and an angle accumulator fed from a ROM.  These helpers capture the
+register semantics — width checks, two's-complement wrapping, truncating
+shifts — so the CORDIC and counter models are bit-accurate rather than
+float approximations.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, ProtocolError
+
+
+def check_bits(bits: int) -> None:
+    """Validate a register width."""
+    if not isinstance(bits, int) or bits < 1 or bits > 64:
+        raise ConfigurationError(f"register width {bits!r} out of range 1..64")
+
+
+def signed_min(bits: int) -> int:
+    """Most negative value of a signed register."""
+    check_bits(bits)
+    return -(1 << (bits - 1))
+
+
+def signed_max(bits: int) -> int:
+    """Most positive value of a signed register."""
+    check_bits(bits)
+    return (1 << (bits - 1)) - 1
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    """Whether ``value`` is representable in a signed register."""
+    return signed_min(bits) <= value <= signed_max(bits)
+
+
+def wrap_signed(value: int, bits: int) -> int:
+    """Two's-complement wrap of ``value`` into ``bits`` bits.
+
+    This is what a hardware register does on overflow; the counter model
+    uses it in non-strict mode.
+    """
+    check_bits(bits)
+    mask = (1 << bits) - 1
+    wrapped = value & mask
+    if wrapped > signed_max(bits):
+        wrapped -= 1 << bits
+    return wrapped
+
+
+def saturate_signed(value: int, bits: int) -> int:
+    """Clamp ``value`` to the signed register range."""
+    return max(signed_min(bits), min(signed_max(bits), value))
+
+
+def require_fits(value: int, bits: int, register: str) -> int:
+    """Assert a value fits a register, naming the register in the error."""
+    if not fits_signed(value, bits):
+        raise ProtocolError(
+            f"register {register!r} ({bits} bits) overflowed with value {value}"
+        )
+    return value
+
+
+def truncating_shift_right(value: int, shift: int) -> int:
+    """Shift right with truncation toward zero — VHDL integer division.
+
+    Figure 8 divides registers by ``shift`` with VHDL ``/``, which rounds
+    toward zero for both signs; Python's ``>>`` floors instead, so
+    negative operands need the explicit form.
+    """
+    if shift < 0:
+        raise ConfigurationError("shift must be non-negative")
+    divisor = 1 << shift
+    quotient = abs(value) >> shift
+    return -quotient if value < 0 else quotient
+
+
+def to_fixed(value: float, frac_bits: int) -> int:
+    """Quantise a real value to a fixed-point integer (round to nearest)."""
+    if frac_bits < 0:
+        raise ConfigurationError("fractional bits must be non-negative")
+    return int(round(value * (1 << frac_bits)))
+
+
+def from_fixed(value: int, frac_bits: int) -> float:
+    """Fixed-point integer back to a real value."""
+    if frac_bits < 0:
+        raise ConfigurationError("fractional bits must be non-negative")
+    return value / float(1 << frac_bits)

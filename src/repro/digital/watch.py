@@ -1,0 +1,194 @@
+"""Watch timekeeping (§4's "common watch options as added features").
+
+The counter clock of 4.194304 MHz is 2^22 Hz — the standard watch-crystal
+family — so a 22-stage ripple divider yields exactly 1 Hz.  This module
+implements that divider chain bit-accurately plus the time-of-day counter,
+a settable alarm and a stopwatch: the feature set of a 1997 compass watch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, ProtocolError
+from ..units import COUNTER_CLOCK_HZ
+
+#: 2^22 Hz → 1 Hz needs exactly 22 divider stages.
+DIVIDER_STAGES = 22
+
+
+class RippleDivider:
+    """A chain of divide-by-two stages clocked at the crystal rate.
+
+    Bit-accurate: the stage outputs are the bits of an up-counter, and the
+    1 Hz tick is the carry out of the last stage.
+    """
+
+    def __init__(self, stages: int = DIVIDER_STAGES):
+        if not 1 <= stages <= 32:
+            raise ConfigurationError("divider stages must be 1..32")
+        self.stages = stages
+        self._count = 0
+
+    @property
+    def modulus(self) -> int:
+        return 1 << self.stages
+
+    @property
+    def count(self) -> int:
+        """Current divider state (the raw counter bits)."""
+        return self._count
+
+    def stage_output(self, stage: int) -> int:
+        """Logic level of one divider stage (0-indexed)."""
+        if not 0 <= stage < self.stages:
+            raise ConfigurationError(f"stage {stage} out of range")
+        return (self._count >> stage) & 1
+
+    def clock(self, cycles: int = 1) -> int:
+        """Advance by ``cycles`` crystal periods; return 1 Hz ticks emitted."""
+        if cycles < 0:
+            raise ConfigurationError("cannot clock backwards")
+        total = self._count + cycles
+        ticks = total // self.modulus
+        self._count = total % self.modulus
+        return ticks
+
+    def output_frequency_hz(self, crystal_hz: float = COUNTER_CLOCK_HZ) -> float:
+        """Frequency of the final stage [Hz]."""
+        return crystal_hz / self.modulus
+
+
+@dataclass
+class TimeOfDay:
+    """A 24-hour wall-clock value."""
+
+    hours: int = 0
+    minutes: int = 0
+    seconds: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.hours <= 23 and 0 <= self.minutes <= 59 and 0 <= self.seconds <= 59):
+            raise ConfigurationError(
+                f"invalid time {self.hours:02d}:{self.minutes:02d}:{self.seconds:02d}"
+            )
+
+    def advance(self, seconds: int) -> "TimeOfDay":
+        """A new time ``seconds`` later (wraps at midnight)."""
+        if seconds < 0:
+            raise ConfigurationError("time only advances")
+        total = (self.hours * 3600 + self.minutes * 60 + self.seconds + seconds) % 86400
+        return TimeOfDay(total // 3600, (total % 3600) // 60, total % 60)
+
+    def total_seconds(self) -> int:
+        return self.hours * 3600 + self.minutes * 60 + self.seconds
+
+    def __str__(self) -> str:
+        return f"{self.hours:02d}:{self.minutes:02d}:{self.seconds:02d}"
+
+
+class Stopwatch:
+    """A 1/100 s stopwatch driven from the divider chain.
+
+    The hardware taps the divider 7 stages up from 1 Hz (2^7 = 128 Hz) and
+    scales; we model centiseconds directly from crystal cycles.
+    """
+
+    def __init__(self, crystal_hz: float = COUNTER_CLOCK_HZ):
+        self.crystal_hz = crystal_hz
+        self._running = False
+        self._elapsed_cycles = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        if self._running:
+            raise ProtocolError("stopwatch already running")
+        self._running = True
+
+    def stop(self) -> None:
+        if not self._running:
+            raise ProtocolError("stopwatch not running")
+        self._running = False
+
+    def reset(self) -> None:
+        if self._running:
+            raise ProtocolError("stop the stopwatch before resetting")
+        self._elapsed_cycles = 0
+
+    def clock(self, cycles: int) -> None:
+        """Feed crystal cycles; they accumulate only while running."""
+        if cycles < 0:
+            raise ConfigurationError("cannot clock backwards")
+        if self._running:
+            self._elapsed_cycles += cycles
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self._elapsed_cycles / self.crystal_hz
+
+    @property
+    def centiseconds(self) -> int:
+        """Displayed value: whole centiseconds."""
+        return int(self.elapsed_seconds * 100.0)
+
+
+class WatchTimekeeper:
+    """Divider + time-of-day + alarm: the watch core of the compass chip."""
+
+    def __init__(self, crystal_hz: float = COUNTER_CLOCK_HZ):
+        if crystal_hz <= 0.0:
+            raise ConfigurationError("crystal frequency must be positive")
+        self.crystal_hz = crystal_hz
+        self.divider = RippleDivider()
+        self.time = TimeOfDay()
+        self.alarm_time: TimeOfDay = None
+        self.alarm_fired = False
+        self.stopwatch = Stopwatch(crystal_hz)
+
+    # -- setting -----------------------------------------------------------
+
+    def set_time(self, hours: int, minutes: int, seconds: int = 0) -> None:
+        self.time = TimeOfDay(hours, minutes, seconds)
+
+    def set_alarm(self, hours: int, minutes: int) -> None:
+        self.alarm_time = TimeOfDay(hours, minutes, 0)
+        self.alarm_fired = False
+
+    def clear_alarm(self) -> None:
+        self.alarm_time = None
+        self.alarm_fired = False
+
+    # -- running -----------------------------------------------------------
+
+    def clock(self, cycles: int) -> int:
+        """Advance by crystal cycles; returns the 1 Hz ticks produced."""
+        ticks = self.divider.clock(cycles)
+        self.stopwatch.clock(cycles)
+        if ticks > 0:
+            old = self.time
+            self.time = self.time.advance(ticks)
+            if self.alarm_time is not None and not self.alarm_fired:
+                if self._crossed_alarm(old, ticks):
+                    self.alarm_fired = True
+        return ticks
+
+    def advance_seconds(self, seconds: int) -> None:
+        """Convenience: clock forward a whole number of seconds."""
+        if seconds < 0:
+            raise ConfigurationError("time only advances")
+        self.clock(int(seconds * int(self.crystal_hz)))
+
+    def _crossed_alarm(self, old: TimeOfDay, ticks: int) -> bool:
+        alarm_s = self.alarm_time.total_seconds()
+        start_s = old.total_seconds()
+        offset = (alarm_s - start_s) % 86400
+        # Alarm at the current second counts as crossed only if we moved.
+        return 0 < offset <= ticks or (offset == 0 and ticks >= 86400)
+
+    @property
+    def blink_phase(self) -> bool:
+        """The 1 Hz colon-blink signal: the divider's last stage."""
+        return bool(self.divider.stage_output(self.divider.stages - 1))

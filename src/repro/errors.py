@@ -1,0 +1,41 @@
+"""Exception hierarchy for the compass reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+violations of hardware constraints.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with physically meaningless parameters."""
+
+
+class ComplianceError(ReproError):
+    """An analogue block was driven outside its operating envelope.
+
+    Example: asking the 5 V excitation source to drive a sensor whose series
+    resistance exceeds the 800 Ω compliance limit stated in §3.1.
+    """
+
+
+class ResourceError(ReproError):
+    """A design does not fit the Sea-of-Gates / MCM resource budget."""
+
+
+class ProtocolError(ReproError):
+    """A digital interface was exercised out of protocol.
+
+    Example: shifting a boundary-scan register while the TAP controller is
+    not in the Shift-DR state, or reading a CORDIC result before ``ready``.
+    """
+
+
+class CalibrationError(ReproError):
+    """Sensor calibration could not be computed from the supplied samples."""

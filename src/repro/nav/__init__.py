@@ -1,0 +1,29 @@
+"""Navigation on top of the compass: dead reckoning and route following."""
+
+from .declination import (
+    DeclinationTable,
+    geographic_to_magnetic,
+    magnetic_to_geographic,
+)
+from .dead_reckoning import (
+    ORIGIN,
+    DeadReckoner,
+    Leg,
+    Position,
+    follow_route,
+    route_positions,
+    worst_case_drift,
+)
+
+__all__ = [
+    "DeclinationTable",
+    "geographic_to_magnetic",
+    "magnetic_to_geographic",
+    "DeadReckoner",
+    "Leg",
+    "ORIGIN",
+    "Position",
+    "follow_route",
+    "route_positions",
+    "worst_case_drift",
+]

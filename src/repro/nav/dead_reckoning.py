@@ -1,0 +1,150 @@
+"""Dead-reckoning navigation on top of the compass.
+
+The paper's opening sentence places the work among "magnetic sensor
+systems for navigational use" [Pet86]; this package closes that loop: a
+walker (or vehicle, as in Peters' automotive paper) follows legs of
+known length using the compass for direction, and we track how heading
+errors integrate into position error.
+
+Conventions: a local flat-earth tangent plane with x = north [m],
+y = east [m]; headings in degrees clockwise from *magnetic* north, with
+an optional declination correction to geographic north.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point on the local tangent plane [m]."""
+
+    north: float
+    east: float
+
+    def distance_to(self, other: "Position") -> float:
+        return math.hypot(self.north - other.north, self.east - other.east)
+
+    def bearing_to(self, other: "Position") -> float:
+        """Geographic bearing toward another point [deg, 0..360)."""
+        bearing = math.degrees(
+            math.atan2(other.east - self.east, other.north - self.north)
+        )
+        return bearing % 360.0
+
+    def moved(self, bearing_deg: float, distance_m: float) -> "Position":
+        """The position after travelling a leg."""
+        if distance_m < 0.0:
+            raise ConfigurationError("leg distance must be non-negative")
+        rad = math.radians(bearing_deg)
+        return Position(
+            self.north + distance_m * math.cos(rad),
+            self.east + distance_m * math.sin(rad),
+        )
+
+
+ORIGIN = Position(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One route leg: a geographic bearing and a distance."""
+
+    bearing_deg: float
+    distance_m: float
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0.0:
+            raise ConfigurationError("leg distance must be positive")
+
+
+class DeadReckoner:
+    """Integrates compass headings and distances into a track.
+
+    Parameters
+    ----------
+    declination_deg:
+        Local magnetic declination; compass headings (magnetic) are
+        converted to geographic bearings by *adding* it.
+    start:
+        Starting position.
+    """
+
+    def __init__(self, declination_deg: float = 0.0, start: Position = ORIGIN):
+        self.declination_deg = declination_deg
+        self.track: List[Position] = [start]
+
+    @property
+    def position(self) -> Position:
+        return self.track[-1]
+
+    def advance(self, magnetic_heading_deg: float, distance_m: float) -> Position:
+        """Walk one leg on a compass heading; returns the new position."""
+        bearing = magnetic_heading_deg + self.declination_deg
+        new_position = self.position.moved(bearing, distance_m)
+        self.track.append(new_position)
+        return new_position
+
+    def total_distance(self) -> float:
+        """Path length walked so far [m]."""
+        return sum(
+            a.distance_to(b) for a, b in zip(self.track, self.track[1:])
+        )
+
+    def closure_error(self, intended_end: Position) -> float:
+        """Distance between where we are and where we meant to be [m]."""
+        return self.position.distance_to(intended_end)
+
+
+def route_positions(legs: Sequence[Leg], start: Position = ORIGIN) -> List[Position]:
+    """The exact waypoint list of a route (the ground truth)."""
+    positions = [start]
+    for leg in legs:
+        positions.append(positions[-1].moved(leg.bearing_deg, leg.distance_m))
+    return positions
+
+
+def follow_route(
+    legs: Sequence[Leg],
+    compass,
+    field_magnitude_t: float = 50.0e-6,
+    declination_deg: float = 0.0,
+    start: Position = ORIGIN,
+) -> Tuple[DeadReckoner, List[float]]:
+    """Walk a route steering by compass; returns the reckoner and the
+    per-leg heading errors [deg].
+
+    ``compass`` is an :class:`~repro.core.compass.IntegratedCompass`.
+    For each leg the walker *intends* the leg's bearing, the compass is
+    read at the corresponding magnetic heading, and the walker then
+    walks the *measured* heading — so every instrument error bends the
+    track exactly as it would in the field.
+    """
+    if len(legs) == 0:
+        raise ConfigurationError("route needs at least one leg")
+    reckoner = DeadReckoner(declination_deg, start)
+    heading_errors: List[float] = []
+    for leg in legs:
+        magnetic_target = (leg.bearing_deg - declination_deg) % 360.0
+        measurement = compass.measure_heading(magnetic_target, field_magnitude_t)
+        heading_errors.append(measurement.error_against(magnetic_target))
+        reckoner.advance(measurement.heading_deg, leg.distance_m)
+    return reckoner, heading_errors
+
+
+def worst_case_drift(
+    total_distance_m: float, heading_error_deg: float
+) -> float:
+    """Cross-track drift bound for a constant heading error [m].
+
+    ``drift ≈ distance · sin(error)`` — the number that turns the
+    paper's 1° budget into "17 m per kilometre walked".
+    """
+    if total_distance_m < 0.0:
+        raise ConfigurationError("distance must be non-negative")
+    return total_distance_m * math.sin(math.radians(abs(heading_error_deg)))

@@ -1,0 +1,59 @@
+"""Physical substrate models: geomagnetic field, core magnetics, noise."""
+
+from .earth_field import (
+    DipoleEarthField,
+    FieldVector,
+    LOCATIONS,
+    UniformField,
+    field_at_location,
+)
+from .magnetics import (
+    CORE_MODELS,
+    CoreParameters,
+    JilesAthertonCore,
+    MagnetisationModel,
+    PiecewiseLinearCore,
+    TanhCore,
+    make_core,
+)
+from .thermal import (
+    NOMINAL_COEFFICIENTS,
+    T_REFERENCE_C,
+    ThermalCoefficients,
+    compass_config_at_temperature,
+    oscillator_at_temperature,
+    sensor_at_temperature,
+)
+from .noise import (
+    NOISELESS,
+    TYPICAL_1997_CMOS,
+    NoiseBudget,
+    NoiseGenerator,
+    thermal_noise_density,
+)
+
+__all__ = [
+    "NOMINAL_COEFFICIENTS",
+    "T_REFERENCE_C",
+    "ThermalCoefficients",
+    "compass_config_at_temperature",
+    "oscillator_at_temperature",
+    "sensor_at_temperature",
+    "CORE_MODELS",
+    "CoreParameters",
+    "DipoleEarthField",
+    "FieldVector",
+    "JilesAthertonCore",
+    "LOCATIONS",
+    "MagnetisationModel",
+    "NOISELESS",
+    "NoiseBudget",
+    "NoiseGenerator",
+    "PiecewiseLinearCore",
+    "TanhCore",
+    "TYPICAL_1997_CMOS",
+    "UniformField",
+    "field_at_location",
+    "make_core",
+    "thermal_noise_density",
+]

@@ -1,0 +1,240 @@
+"""Ferromagnetic core magnetisation models for the fluxgate sensor.
+
+§2.1.1 of the paper describes the operating principle: the permalloy core is
+"deliberately driven into saturation periodically with a symmetrical
+excitation field"; an external field makes the core stay "saturated longer
+in one direction and shorter in the other", shifting the induction-voltage
+pulses in time.
+
+The readout chain only depends on *where* the core transitions between
+saturation states, so the library offers three magnetisation laws of
+increasing fidelity.  All are expressed as ``B(H)`` plus the differential
+permeability ``dB/dH`` needed for the pickup voltage ``V = -N·A·dB/dt =
+-N·A·(dB/dH)·(dH/dt)``:
+
+``PiecewiseLinearCore``
+    The textbook idealisation: constant permeability inside ``|H| < HK``,
+    flat saturation outside.  Pulse positions are exact and analytic —
+    useful as a ground truth for the timing math.
+
+``TanhCore``
+    Smooth anhysteretic saturation ``B = Bs·tanh(H/HK)``; matches the ELDO
+    behavioural model the paper derived from bench measurements ("An ELDO
+    model was derived from these measurements", §2.1.1).
+
+``JilesAthertonCore``
+    A rate-independent hysteresis model (Jiles-Atherton) for ablation
+    studies: real permalloy has a (small) coercive field which biases the
+    pulse positions; the bench PPOS1 quantifies the effect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoreParameters:
+    """Magnetic parameters of a fluxgate core.
+
+    Attributes
+    ----------
+    saturation_flux_density:
+        ``Bs`` [T]; electroplated permalloy films reach ~0.7–1.0 T.
+    anisotropy_field:
+        ``HK`` [A/m]; the field at which the core saturates.  The measured
+        Kaw95 device had HK = 10 Oe ≈ 796 A/m — "15 times the magnitude of
+        the earth's magnetic field" (§2.1.1) — which the paper scaled down
+        in its ELDO model to "a saturation level suitable for our
+        application".
+    coercive_field:
+        ``Hc`` [A/m]; only used by the hysteretic model.
+    """
+
+    saturation_flux_density: float
+    anisotropy_field: float
+    coercive_field: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.saturation_flux_density <= 0.0:
+            raise ConfigurationError("saturation flux density must be positive")
+        if self.anisotropy_field <= 0.0:
+            raise ConfigurationError("anisotropy field must be positive")
+        if self.coercive_field < 0.0:
+            raise ConfigurationError("coercive field must be non-negative")
+
+
+class MagnetisationModel:
+    """Interface shared by all core magnetisation laws."""
+
+    def __init__(self, params: CoreParameters):
+        self.params = params
+
+    def flux_density(self, h: np.ndarray) -> np.ndarray:
+        """``B(H)`` [T] for field strength ``h`` [A/m]."""
+        raise NotImplementedError
+
+    def differential_permeability(self, h: np.ndarray) -> np.ndarray:
+        """``dB/dH`` [T·m/A] for field strength ``h`` [A/m]."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any internal state (hysteretic models only)."""
+
+    @property
+    def is_hysteretic(self) -> bool:
+        return False
+
+
+class PiecewiseLinearCore(MagnetisationModel):
+    """Ideal saturating core: linear for ``|H| < HK``, flat outside."""
+
+    def flux_density(self, h):
+        p = self.params
+        h = np.asarray(h, dtype=float)
+        slope = p.saturation_flux_density / p.anisotropy_field
+        return np.clip(h * slope, -p.saturation_flux_density, p.saturation_flux_density)
+
+    def differential_permeability(self, h):
+        p = self.params
+        h = np.asarray(h, dtype=float)
+        slope = p.saturation_flux_density / p.anisotropy_field
+        return np.where(np.abs(h) < p.anisotropy_field, slope, 0.0)
+
+
+class TanhCore(MagnetisationModel):
+    """Smooth anhysteretic core: ``B = Bs·tanh(H/HK)``.
+
+    ``HK`` here is the field scale of the tanh; the differential
+    permeability at the origin is ``Bs/HK``, matching the piecewise-linear
+    model's unsaturated slope so the two are directly comparable.
+    """
+
+    def flux_density(self, h):
+        p = self.params
+        h = np.asarray(h, dtype=float)
+        return p.saturation_flux_density * np.tanh(h / p.anisotropy_field)
+
+    def differential_permeability(self, h):
+        p = self.params
+        h = np.asarray(h, dtype=float)
+        sech2 = 1.0 / np.cosh(h / p.anisotropy_field) ** 2
+        return (p.saturation_flux_density / p.anisotropy_field) * sech2
+
+
+class JilesAthertonCore(MagnetisationModel):
+    """Rate-independent hysteresis via the Jiles-Atherton equation.
+
+    A deliberately compact implementation: the anhysteretic curve is the
+    same tanh law as :class:`TanhCore` (a Langevin-like saturating
+    function), and the irreversible magnetisation follows
+
+        dM_irr/dH = (M_an - M_irr) / (k·δ)
+
+    with ``δ = sign(dH/dt)`` and pinning parameter ``k`` set from the
+    requested coercive field.  The model is integrated sample-by-sample via
+    :meth:`step`, so it must be driven with a monotone time series (which is
+    what the simulation engine does); the stateless array API evaluates a
+    whole waveform at once.
+    """
+
+    #: Fraction of the magnetisation that responds reversibly.
+    REVERSIBILITY = 0.1
+
+    def __init__(self, params: CoreParameters):
+        super().__init__(params)
+        if params.coercive_field <= 0.0:
+            raise ConfigurationError(
+                "JilesAthertonCore requires a positive coercive_field"
+            )
+        self._m_irr = 0.0
+        self._h_prev = 0.0
+
+    @property
+    def is_hysteretic(self) -> bool:
+        return True
+
+    def reset(self) -> None:
+        self._m_irr = 0.0
+        self._h_prev = 0.0
+
+    def _anhysteretic(self, h: float) -> float:
+        p = self.params
+        return p.saturation_flux_density * math.tanh(h / p.anisotropy_field)
+
+    def step(self, h: float) -> float:
+        """Advance the hysteresis state to field ``h`` and return ``B`` [T].
+
+        The irreversible component integrates ``dM_irr/dH = (M_an −
+        M_irr)/(δ·k)`` with the standard physical constraint that pinning
+        cannot push magnetisation *against* the anhysteretic pull
+        (``δ·(M_an − M_irr) < 0 → dM_irr = 0``).  The explicit integration
+        is sub-stepped so each sub-step moves the field by at most
+        ``k/5`` — without this the first-order update overshoots whenever
+        the driving waveform slews faster than the pinning scale.
+        """
+        p = self.params
+        k = p.coercive_field
+        dh_total = h - self._h_prev
+        if dh_total != 0.0:
+            n_sub = max(1, int(math.ceil(abs(dh_total) / (0.2 * k))))
+            dh = dh_total / n_sub
+            delta = 1.0 if dh > 0.0 else -1.0
+            h_local = self._h_prev
+            for _ in range(n_sub):
+                h_local += dh
+                m_an_local = self._anhysteretic(h_local)
+                if delta * (m_an_local - self._m_irr) >= 0.0:
+                    self._m_irr += (m_an_local - self._m_irr) * abs(dh) / k
+        self._h_prev = h
+        m_an = self._anhysteretic(h)
+        c = self.REVERSIBILITY
+        b = c * m_an + (1.0 - c) * self._m_irr
+        return max(-p.saturation_flux_density, min(p.saturation_flux_density, b))
+
+    def flux_density(self, h):
+        h = np.asarray(h, dtype=float)
+        if h.ndim == 0:
+            return np.asarray(self.step(float(h)))
+        out = np.empty_like(h)
+        for i, hv in enumerate(h.ravel()):
+            out.ravel()[i] = self.step(float(hv))
+        return out
+
+    def differential_permeability(self, h):
+        """Numerical ``dB/dH`` along the driven trajectory.
+
+        Hysteretic permeability depends on history, so this evaluates the
+        model along ``h`` and differences the result; callers that need
+        dB/dt should difference ``flux_density`` in time instead.
+        """
+        h = np.asarray(h, dtype=float)
+        b = self.flux_density(h)
+        if h.size < 2:
+            return np.zeros_like(h)
+        dh = np.gradient(h)
+        db = np.gradient(b)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mu = np.where(dh != 0.0, db / dh, 0.0)
+        return mu
+
+
+#: Registry used by configuration code and the ablation bench.
+CORE_MODELS = {
+    "piecewise": PiecewiseLinearCore,
+    "tanh": TanhCore,
+    "jiles-atherton": JilesAthertonCore,
+}
+
+
+def make_core(kind: str, params: CoreParameters) -> MagnetisationModel:
+    """Instantiate a magnetisation model by registry name."""
+    if kind not in CORE_MODELS:
+        known = ", ".join(sorted(CORE_MODELS))
+        raise ConfigurationError(f"unknown core model {kind!r}; known: {known}")
+    return CORE_MODELS[kind](params)

@@ -1,0 +1,19 @@
+"""Synchronous-RTL kernel and register-transfer digital implementations."""
+
+from .kernel import ClockDomain, Module, Register
+from .modules import (
+    RtlCordic,
+    RtlDivider,
+    RtlMeasurementSequencer,
+    RtlUpDownCounter,
+)
+
+__all__ = [
+    "ClockDomain",
+    "Module",
+    "Register",
+    "RtlCordic",
+    "RtlDivider",
+    "RtlMeasurementSequencer",
+    "RtlUpDownCounter",
+]

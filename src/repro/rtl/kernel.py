@@ -1,0 +1,159 @@
+"""A minimal synchronous-RTL simulation kernel.
+
+The paper's digital section was designed in VHDL (Figure 8 shows the
+arctan process) and simulated with the Compass tools (§5).  This kernel
+recreates that abstraction level in Python: modules own registers,
+describe their next-state function combinationally, and a two-phase
+clock edge updates every register atomically — the semantics of a
+synchronous VHDL process under a single clock.
+
+The point is not speed (the behavioural models in :mod:`repro.digital`
+are faster); it is *checkability*: the RTL modules in
+:mod:`repro.rtl.modules` are cycle-by-cycle implementations whose
+equivalence to the behavioural models is asserted by tests, the way the
+original flow checked VHDL against its specification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from ..errors import ConfigurationError, ProtocolError
+from ..digital.fixed_point import fits_signed
+
+
+class Register:
+    """One clocked register with two-phase update semantics.
+
+    Reads always return the value latched at the previous clock edge;
+    writes go to the *next* value and only become visible after
+    :meth:`commit` (called by the kernel at the edge).
+    """
+
+    def __init__(self, name: str, width: int, reset: int = 0, signed: bool = True):
+        if not 1 <= width <= 64:
+            raise ConfigurationError(f"register width {width} out of range")
+        self.name = name
+        self.width = width
+        self.signed = signed
+        self.reset_value = self._check(reset)
+        self._q = self.reset_value
+        self._d: Optional[int] = None
+
+    def _check(self, value: int) -> int:
+        if not isinstance(value, int):
+            raise ProtocolError(f"register {self.name!r} driven with {value!r}")
+        if self.signed:
+            if not fits_signed(value, self.width):
+                raise ProtocolError(
+                    f"register {self.name!r} ({self.width} bits signed) "
+                    f"overflow: {value}"
+                )
+        elif not 0 <= value < (1 << self.width):
+            raise ProtocolError(
+                f"register {self.name!r} ({self.width} bits unsigned) "
+                f"overflow: {value}"
+            )
+        return value
+
+    @property
+    def q(self) -> int:
+        """The registered (visible) value."""
+        return self._q
+
+    def set_next(self, value: int) -> None:
+        """Schedule the value to be latched at the next clock edge."""
+        self._d = self._check(value)
+
+    def commit(self) -> None:
+        if self._d is not None:
+            self._q = self._d
+            self._d = None
+
+    def reset(self) -> None:
+        self._q = self.reset_value
+        self._d = None
+
+
+class Module:
+    """Base class for synchronous RTL modules.
+
+    Subclasses declare registers with :meth:`reg` in ``__init__`` and
+    implement :meth:`update`, which reads inputs and register ``.q``
+    values and calls ``set_next`` — never mutating ``.q`` directly.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._registers: List[Register] = []
+
+    def reg(self, name: str, width: int, reset: int = 0, signed: bool = True) -> Register:
+        register = Register(f"{self.name}.{name}", width, reset, signed)
+        self._registers.append(register)
+        return register
+
+    def registers(self) -> List[Register]:
+        return list(self._registers)
+
+    def flop_count(self) -> int:
+        """Total register bits — the flip-flop count a synthesiser sees."""
+        return sum(r.width for r in self._registers)
+
+    def update(self) -> None:
+        """Combinational next-state logic; override in subclasses."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        for register in self._registers:
+            register.reset()
+
+
+class ClockDomain:
+    """Drives a set of modules from one clock with two-phase edges."""
+
+    def __init__(self, modules: Iterable[Module]):
+        self.modules = list(modules)
+        if not self.modules:
+            raise ConfigurationError("clock domain needs at least one module")
+        self.cycle_count = 0
+
+    def reset(self) -> None:
+        for module in self.modules:
+            module.reset()
+        self.cycle_count = 0
+
+    def tick(self, cycles: int = 1) -> int:
+        """Advance ``cycles`` clock edges; returns the total cycle count.
+
+        Phase 1: every module evaluates its next-state function against
+        the *old* register values.  Phase 2: all registers commit.  This
+        is exactly the signal/variable separation that makes the VHDL of
+        Figure 8 race-free.
+        """
+        if cycles < 0:
+            raise ConfigurationError("cannot clock backwards")
+        for _ in range(cycles):
+            for module in self.modules:
+                module.update()
+            for module in self.modules:
+                for register in module.registers():
+                    register.commit()
+            self.cycle_count += 1
+        return self.cycle_count
+
+    def run_until(
+        self, condition: Callable[[], bool], max_cycles: int = 100_000
+    ) -> int:
+        """Clock until ``condition()`` holds; returns cycles consumed.
+
+        Raises :class:`~repro.errors.ProtocolError` on timeout — a
+        hardware watchdog, not an infinite loop.
+        """
+        start = self.cycle_count
+        while not condition():
+            if self.cycle_count - start >= max_cycles:
+                raise ProtocolError(
+                    f"condition not reached within {max_cycles} cycles"
+                )
+            self.tick()
+        return self.cycle_count - start

@@ -1,0 +1,254 @@
+"""Register-transfer-level implementations of the digital blocks.
+
+Each module here is a cycle-by-cycle implementation of a block that
+:mod:`repro.digital` models behaviourally; the test suite proves them
+equivalent.  The CORDIC is a line-by-line transliteration of the VHDL of
+Figure 8 into the kernel's register discipline — one ``while`` iteration
+per clock cycle, ``ready`` asserted after the eighth, exactly as the
+paper's "It used only 8 cycles" describes.
+"""
+
+from __future__ import annotations
+
+
+from ..digital.atan_rom import ANGLE_FRAC_BITS, build_rom
+from ..digital.fixed_point import truncating_shift_right
+from ..errors import ConfigurationError, ProtocolError
+from ..units import CORDIC_ITERATIONS
+from .kernel import Module
+
+# FSM encodings (would be one-hot in the silicon).
+_IDLE, _RUN, _DONE = 0, 1, 2
+
+
+class RtlCordic(Module):
+    """The Figure 8 arctan datapath as a clocked FSM.
+
+    Interface (sampled at each rising edge):
+
+    * ``start`` — pulse high for one cycle with ``x_in``/``y_in`` valid,
+    * ``ready`` — combinational, high while the result is valid,
+    * ``result`` — the accumulated angle in ROM units (1/256 degree).
+    """
+
+    def __init__(
+        self,
+        iterations: int = CORDIC_ITERATIONS,
+        input_scale_bits: int = 7,
+        register_width: int = 24,
+    ):
+        super().__init__("cordic")
+        if iterations < 1 or iterations > 15:
+            raise ConfigurationError("iterations must be 1..15")
+        self.iterations = iterations
+        self.input_scale_bits = input_scale_bits
+        self.rom = build_rom(iterations, ANGLE_FRAC_BITS)
+
+        self.state = self.reg("state", 2, reset=_IDLE, signed=False)
+        self.count = self.reg("count", 4, signed=False)
+        self.x_reg = self.reg("x_reg", register_width)
+        self.y_reg = self.reg("y_reg", register_width)
+        self.res = self.reg("res", 16, signed=False)
+
+        # Input port signals (driven by the testbench/controller).
+        self.start = 0
+        self.x_in = 0
+        self.y_in = 0
+
+    # -- port views -----------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return self.state.q == _DONE
+
+    @property
+    def busy(self) -> bool:
+        return self.state.q == _RUN
+
+    @property
+    def result(self) -> int:
+        if not self.ready:
+            raise ProtocolError("CORDIC result read before ready")
+        return self.res.q
+
+    @property
+    def result_degrees(self) -> float:
+        return self.result / float(1 << ANGLE_FRAC_BITS)
+
+    # -- next-state logic ------------------------------------------------------
+
+    def update(self) -> None:
+        state = self.state.q
+        if state == _IDLE:
+            if self.start:
+                if self.x_in < 0 or self.y_in < 0:
+                    raise ProtocolError(
+                        "RTL CORDIC takes first-quadrant inputs; fold "
+                        "quadrants in the surrounding logic"
+                    )
+                self.x_reg.set_next(self.x_in << self.input_scale_bits)
+                self.y_reg.set_next(self.y_in << self.input_scale_bits)
+                self.res.set_next(0)
+                self.count.set_next(0)
+                self.state.set_next(_RUN)
+        elif state == _RUN:
+            i = self.count.q
+            x_prev = self.x_reg.q
+            y_prev = self.y_reg.q
+            if y_prev >= truncating_shift_right(x_prev, i):
+                self.y_reg.set_next(y_prev - truncating_shift_right(x_prev, i))
+                self.x_reg.set_next(x_prev + truncating_shift_right(y_prev, i))
+                self.res.set_next(self.res.q + self.rom[i])
+            self.count.set_next(i + 1)
+            if i + 1 == self.iterations:
+                self.state.set_next(_DONE)
+        elif state == _DONE:
+            if self.start:
+                # Back-to-back operation: a new start reloads directly.
+                self.x_reg.set_next(self.x_in << self.input_scale_bits)
+                self.y_reg.set_next(self.y_in << self.input_scale_bits)
+                self.res.set_next(0)
+                self.count.set_next(0)
+                self.state.set_next(_RUN)
+
+
+class RtlUpDownCounter(Module):
+    """The 4.194304 MHz pulse counter as RTL.
+
+    Ports: ``enable`` (count this cycle), ``up`` (the sampled detector
+    level), ``clear`` (synchronous reset).  One count per enabled cycle.
+    """
+
+    def __init__(self, width: int = 16):
+        super().__init__("udcounter")
+        self.value = self.reg("value", width)
+        self.enable = 0
+        self.up = 0
+        self.clear = 0
+
+    def update(self) -> None:
+        if self.clear:
+            self.value.set_next(0)
+        elif self.enable:
+            delta = 1 if self.up else -1
+            self.value.set_next(self.value.q + delta)
+
+    @property
+    def count(self) -> int:
+        return self.value.q
+
+
+class RtlDivider(Module):
+    """The 2^22 → 1 Hz watch divider as a single synchronous counter.
+
+    ``second_pulse`` is high for the one cycle in which the chain wraps —
+    the carry the time-of-day counter consumes.
+    """
+
+    def __init__(self, stages: int = 22):
+        super().__init__("divider")
+        if not 1 <= stages <= 32:
+            raise ConfigurationError("stages must be 1..32")
+        self.stages = stages
+        self.value = self.reg("value", stages, signed=False)
+        self._wrapped = False
+
+    def update(self) -> None:
+        nxt = self.value.q + 1
+        if nxt == (1 << self.stages):
+            self.value.set_next(0)
+            self._wrapped = True
+        else:
+            self.value.set_next(nxt)
+            self._wrapped = False
+
+    @property
+    def second_pulse(self) -> bool:
+        """True during the cycle whose commit wraps the chain."""
+        return self.value.q == (1 << self.stages) - 1
+
+    def stage_output(self, stage: int) -> int:
+        if not 0 <= stage < self.stages:
+            raise ConfigurationError(f"stage {stage} out of range")
+        return (self.value.q >> stage) & 1
+
+
+class RtlMeasurementSequencer(Module):
+    """The §4 control FSM as RTL: gates, multiplexes and fires the CORDIC.
+
+    A compact version of :class:`repro.digital.control.CompassController`
+    at clock granularity.  State dwell lengths are given in cycles so the
+    testbench can scale them down; the enables are combinational views of
+    the state register — glitch-free by construction.
+    """
+
+    S_IDLE, S_SETTLE_X, S_COUNT_X, S_SETTLE_Y, S_COUNT_Y, S_COMPUTE = range(6)
+
+    def __init__(self, settle_cycles: int, count_cycles: int, compute_cycles: int):
+        super().__init__("sequencer")
+        for name, value in (
+            ("settle_cycles", settle_cycles),
+            ("count_cycles", count_cycles),
+            ("compute_cycles", compute_cycles),
+        ):
+            if value < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        self.settle_cycles = settle_cycles
+        self.count_cycles = count_cycles
+        self.compute_cycles = compute_cycles
+        self.state = self.reg("state", 3, reset=self.S_IDLE, signed=False)
+        self.timer = self.reg("timer", 32, signed=False)
+        self.go = 0
+
+    def _advance(self, next_state: int, dwell: int) -> None:
+        if self.timer.q + 1 >= dwell:
+            self.state.set_next(next_state)
+            self.timer.set_next(0)
+        else:
+            self.timer.set_next(self.timer.q + 1)
+
+    def update(self) -> None:
+        state = self.state.q
+        if state == self.S_IDLE:
+            if self.go:
+                self.state.set_next(self.S_SETTLE_X)
+                self.timer.set_next(0)
+        elif state == self.S_SETTLE_X:
+            self._advance(self.S_COUNT_X, self.settle_cycles)
+        elif state == self.S_COUNT_X:
+            self._advance(self.S_SETTLE_Y, self.count_cycles)
+        elif state == self.S_SETTLE_Y:
+            self._advance(self.S_COUNT_Y, self.settle_cycles)
+        elif state == self.S_COUNT_Y:
+            self._advance(self.S_COMPUTE, self.count_cycles)
+        elif state == self.S_COMPUTE:
+            self._advance(self.S_IDLE, self.compute_cycles)
+
+    # -- combinational enables (§4's power gates) ------------------------------
+
+    @property
+    def analog_enable(self) -> bool:
+        return self.state.q in (
+            self.S_SETTLE_X, self.S_COUNT_X, self.S_SETTLE_Y, self.S_COUNT_Y
+        )
+
+    @property
+    def counter_enable(self) -> bool:
+        return self.state.q in (self.S_COUNT_X, self.S_COUNT_Y)
+
+    @property
+    def cordic_start(self) -> bool:
+        """One-cycle pulse on entry to COMPUTE (timer still zero)."""
+        return self.state.q == self.S_COMPUTE and self.timer.q == 0
+
+    @property
+    def active_channel(self) -> str:
+        if self.state.q in (self.S_SETTLE_X, self.S_COUNT_X):
+            return "x"
+        if self.state.q in (self.S_SETTLE_Y, self.S_COUNT_Y):
+            return "y"
+        return "-"
+
+    @property
+    def idle(self) -> bool:
+        return self.state.q == self.S_IDLE

@@ -1,0 +1,34 @@
+"""Fluxgate sensor models: single element, orthogonal pair, readouts."""
+
+from .fluxgate import FluxgateSensor, SensorWaveforms
+from .pair import IDEAL_PAIR, OrthogonalSensorPair, PairImperfections
+from .parameters import (
+    DISCRETE_MINIATURE,
+    IDEAL_TARGET,
+    MICROMACHINED_KAW95,
+    PRESETS,
+    FluxgateParameters,
+    preset,
+)
+from .lockin import DemodulationResult, LockInDemodulator, SynchronousFieldReadout
+from .second_harmonic import ADCModel, SecondHarmonicReadout, SecondHarmonicResult
+
+__all__ = [
+    "ADCModel",
+    "DemodulationResult",
+    "LockInDemodulator",
+    "SynchronousFieldReadout",
+    "DISCRETE_MINIATURE",
+    "FluxgateParameters",
+    "FluxgateSensor",
+    "IDEAL_PAIR",
+    "IDEAL_TARGET",
+    "MICROMACHINED_KAW95",
+    "OrthogonalSensorPair",
+    "PRESETS",
+    "PairImperfections",
+    "SecondHarmonicReadout",
+    "SecondHarmonicResult",
+    "SensorWaveforms",
+    "preset",
+]

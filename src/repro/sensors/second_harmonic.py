@@ -1,0 +1,168 @@
+"""Second-harmonic fluxgate readout — the baseline the paper argues against.
+
+§2.1: "Most common is the so called second harmonic measurement [Rip92,
+Got95, Kaw95].  We, however, use the so called pulse position method."
+§3.2: with pulse position "a complicated AD-converter is not necessary,
+which would have been the case for methods based on second harmonic
+measurements."
+
+To make that comparison quantitative (bench PPOS1) this module implements
+the classic readout: the pickup voltage of a symmetric fluxgate contains
+only odd harmonics of the excitation when no external field is applied; an
+external field breaks the symmetry and produces even harmonics whose
+amplitude — dominated by the 2nd — is proportional to the field.  The
+chain is: synchronous detection of the 2nd harmonic, anti-alias filtering,
+then an ADC.
+
+The ADC is modelled as an ideal quantiser with a given resolution so the
+hardware-cost comparison (ADC bits and an analogue multiplier vs a single
+comparator pair) can be stated alongside the accuracy comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..simulation.signals import Trace
+from .fluxgate import FluxgateSensor
+
+
+@dataclass(frozen=True)
+class ADCModel:
+    """An ideal mid-tread quantiser with saturating full scale.
+
+    Attributes
+    ----------
+    bits:
+        Resolution in bits.
+    full_scale:
+        Input mapped to the most positive code [V].
+    """
+
+    bits: int
+    full_scale: float
+
+    def __post_init__(self) -> None:
+        if self.bits < 1 or self.bits > 24:
+            raise ConfigurationError("ADC resolution must be 1..24 bits")
+        if self.full_scale <= 0.0:
+            raise ConfigurationError("ADC full scale must be positive")
+
+    @property
+    def lsb(self) -> float:
+        """Quantisation step [V]."""
+        return 2.0 * self.full_scale / (2**self.bits)
+
+    def convert(self, voltage: float) -> int:
+        """Quantise one sample to a signed integer code."""
+        clipped = max(-self.full_scale, min(self.full_scale, voltage))
+        code = int(round(clipped / self.lsb))
+        max_code = 2 ** (self.bits - 1) - 1
+        return max(-(max_code + 1), min(max_code, code))
+
+    def reconstruct(self, code: int) -> float:
+        """Code back to volts (for error analysis)."""
+        return code * self.lsb
+
+
+@dataclass(frozen=True)
+class SecondHarmonicResult:
+    """Output of one second-harmonic measurement."""
+
+    amplitude_volts: float
+    adc_code: int
+    field_estimate_a_per_m: float
+
+
+class SecondHarmonicReadout:
+    """Second-harmonic synchronous-detection readout for one sensor.
+
+    Parameters
+    ----------
+    sensor:
+        The fluxgate being read out.
+    adc:
+        ADC placed after the synchronous detector.
+    excitation_frequency_hz:
+        Frequency of the (sinusoidal or triangular) excitation.
+    """
+
+    def __init__(
+        self,
+        sensor: FluxgateSensor,
+        adc: ADCModel,
+        excitation_frequency_hz: float,
+    ):
+        if excitation_frequency_hz <= 0.0:
+            raise ConfigurationError("excitation frequency must be positive")
+        self.sensor = sensor
+        self.adc = adc
+        self.excitation_frequency_hz = excitation_frequency_hz
+        self._gain_a_per_m_per_volt: float = 0.0
+
+    def second_harmonic_amplitude(
+        self, current: Trace, h_external: float
+    ) -> float:
+        """Amplitude of the 2nd harmonic of the pickup voltage [V]."""
+        waves = self.sensor.simulate(current, h_external)
+        return waves.pickup_voltage.harmonic_amplitude(
+            self.excitation_frequency_hz, harmonic=2
+        )
+
+    def calibrate(self, current: Trace, h_reference: float) -> float:
+        """Two-point calibration: measure at 0 and at ``h_reference``.
+
+        Returns and stores the field-per-volt gain used by
+        :meth:`measure`.  Raises if the reference produces no 2nd-harmonic
+        response (e.g. the drive does not saturate the core).
+        """
+        if h_reference == 0.0:
+            raise ConfigurationError("reference field must be non-zero")
+        v_zero = self.second_harmonic_amplitude(current, 0.0)
+        v_ref = self.second_harmonic_amplitude(current, h_reference)
+        delta = v_ref - v_zero
+        if abs(delta) < 1e-15:
+            raise ConfigurationError(
+                "no second-harmonic response; is the core being saturated?"
+            )
+        self._gain_a_per_m_per_volt = h_reference / delta
+        return self._gain_a_per_m_per_volt
+
+    def measure(self, current: Trace, h_external: float) -> SecondHarmonicResult:
+        """Full chain: sensor → 2nd-harmonic detect → ADC → field estimate.
+
+        The sign of the field cannot be recovered from the harmonic
+        amplitude alone; real second-harmonic fluxgates recover it from the
+        demodulator phase.  We model that by carrying the sign of the
+        synchronous (phase-sensitive) component.
+        """
+        if self._gain_a_per_m_per_volt == 0.0:
+            raise ConfigurationError("readout must be calibrated first")
+        amplitude = self.second_harmonic_amplitude(current, h_external)
+        signed = amplitude if h_external >= 0.0 else -amplitude
+        code = self.adc.convert(signed)
+        field = self.adc.reconstruct(code) * self._gain_a_per_m_per_volt
+        return SecondHarmonicResult(
+            amplitude_volts=amplitude,
+            adc_code=code,
+            field_estimate_a_per_m=field,
+        )
+
+    # -- hardware cost (for the PPOS1 comparison bench) -----------------------
+
+    @staticmethod
+    def hardware_cost() -> dict:
+        """Approximate analogue hardware needed by this readout.
+
+        Compared in bench PPOS1 against the pulse-position detector's
+        comparator pair + SR latch (§3.2).  Transistor counts are
+        order-of-magnitude 1997-era CMOS figures.
+        """
+        return {
+            "analog_multiplier_transistors": 60,
+            "antialias_filter_transistors": 40,
+            "adc_transistors_per_bit": 250,
+            "needs_adc": True,
+            "needs_precision_references": True,
+        }

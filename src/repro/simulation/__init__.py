@@ -1,0 +1,27 @@
+"""Mixed-signal simulation substrate: traces, time grids, sweeps."""
+
+from .engine import ProbeBoard, SimulationEngine, TimeGrid
+from .signals import PulseEvent, Trace, find_pulses
+from .vcd import VCDWriter
+from .testbench import (
+    ExperimentLog,
+    ExperimentRecord,
+    Sweep,
+    SweepResult,
+    WaveformReport,
+)
+
+__all__ = [
+    "ExperimentLog",
+    "ExperimentRecord",
+    "ProbeBoard",
+    "PulseEvent",
+    "SimulationEngine",
+    "Sweep",
+    "SweepResult",
+    "TimeGrid",
+    "Trace",
+    "VCDWriter",
+    "WaveformReport",
+    "find_pulses",
+]

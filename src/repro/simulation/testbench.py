@@ -1,0 +1,136 @@
+"""Reusable test-bench helpers shared by tests, examples and benchmarks.
+
+These mirror the bench instruments around the real chip: a waveform source
+summary, sweep drivers, and tabular result collection for the experiment
+benches (which print the same rows the paper's figures show).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .signals import Trace
+
+
+@dataclass
+class SweepResult:
+    """One row of a parameter sweep: the swept value plus measured columns."""
+
+    value: float
+    measurements: Dict[str, float]
+
+
+class Sweep:
+    """Run a measurement function over a sequence of parameter values.
+
+    The measurement function receives one swept value and returns a dict of
+    named scalar measurements; the sweep collects rows and can render them
+    as an aligned text table (what the benches print).
+    """
+
+    def __init__(
+        self,
+        parameter: str,
+        values: Sequence[float],
+        measure: Callable[[float], Dict[str, float]],
+    ):
+        if len(values) == 0:
+            raise ConfigurationError("sweep needs at least one value")
+        self.parameter = parameter
+        self.values = list(values)
+        self.measure = measure
+        self.rows: List[SweepResult] = []
+
+    def run(self) -> "Sweep":
+        self.rows = [SweepResult(v, self.measure(v)) for v in self.values]
+        return self
+
+    def column(self, name: str) -> np.ndarray:
+        """Extract one measured column across all rows."""
+        if not self.rows:
+            raise ConfigurationError("sweep has not been run")
+        return np.array([row.measurements[name] for row in self.rows])
+
+    def as_table(self, float_format: str = "{:>12.6g}") -> str:
+        if not self.rows:
+            raise ConfigurationError("sweep has not been run")
+        columns = list(self.rows[0].measurements)
+        header = " | ".join(
+            ["{:>12}".format(self.parameter)] + ["{:>12}".format(c) for c in columns]
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            cells = [float_format.format(row.value)]
+            cells += [float_format.format(row.measurements[c]) for c in columns]
+            lines.append(" | ".join(cells))
+        return "\n".join(lines)
+
+
+@dataclass
+class WaveformReport:
+    """Scope-style summary of a trace: the numbers Figure 4's captions quote."""
+
+    mean: float
+    peak_to_peak: float
+    rms: float
+    frequency_hz: float
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "WaveformReport":
+        return cls(
+            mean=trace.mean(),
+            peak_to_peak=trace.peak_to_peak(),
+            rms=trace.rms(),
+            frequency_hz=trace.fundamental_frequency(),
+        )
+
+
+@dataclass
+class ExperimentRecord:
+    """A paper-claim vs. measured-value pair for EXPERIMENTS.md."""
+
+    experiment_id: str
+    claim: str
+    measured: str
+    passed: bool
+    notes: str = ""
+
+
+class ExperimentLog:
+    """Collects :class:`ExperimentRecord` rows and renders a markdown table."""
+
+    def __init__(self) -> None:
+        self.records: List[ExperimentRecord] = []
+
+    def add(
+        self,
+        experiment_id: str,
+        claim: str,
+        measured: str,
+        passed: bool,
+        notes: str = "",
+    ) -> None:
+        self.records.append(
+            ExperimentRecord(experiment_id, claim, measured, passed, notes)
+        )
+
+    def as_markdown(self) -> str:
+        lines = [
+            "| Exp | Paper claim | Measured | Status | Notes |",
+            "|---|---|---|---|---|",
+        ]
+        for rec in self.records:
+            status = "reproduced" if rec.passed else "DIVERGED"
+            lines.append(
+                f"| {rec.experiment_id} | {rec.claim} | {rec.measured} "
+                f"| {status} | {rec.notes} |"
+            )
+        return "\n".join(lines)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(rec.passed for rec in self.records)

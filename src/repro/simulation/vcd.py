@@ -1,0 +1,174 @@
+"""Value-change-dump (VCD) export of simulation waveforms.
+
+The original design flow inspected signals in the Compass/ELDO waveform
+viewers; the modern equivalent is a ``.vcd`` file in GTKWave.  This
+writer covers what the compass simulation produces:
+
+* scalar (1-bit) signals — the detector latch, enables, clocks,
+* vector (multi-bit) signals — counter values, CORDIC registers,
+* real-valued signals — analogue traces, sampled.
+
+Only changes are written (that is the point of the format), timestamps
+are integer multiples of the declared timescale, and the writer enforces
+the header/body ordering of IEEE 1364 §18.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from .signals import Trace
+
+#: Printable identifier characters per the VCD grammar.
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short identifier for the n-th declared signal."""
+    if index < 0:
+        raise ConfigurationError("identifier index must be non-negative")
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(reversed(chars))
+
+
+@dataclass
+class _Signal:
+    name: str
+    identifier: str
+    kind: str  # "wire", "integer" or "real"
+    width: int
+    last_value: Optional[Union[int, float]] = None
+
+
+class VCDWriter:
+    """Builds a VCD document in memory; call :meth:`render` to get text.
+
+    Parameters
+    ----------
+    timescale_ns:
+        Duration of one VCD time unit [ns].  The compass default of 10 ns
+        resolves the 238 ns counter clock comfortably.
+    module:
+        Name of the enclosing scope.
+    """
+
+    def __init__(self, timescale_ns: float = 10.0, module: str = "compass"):
+        if timescale_ns <= 0.0:
+            raise ConfigurationError("timescale must be positive")
+        self.timescale_ns = timescale_ns
+        self.module = module
+        self._signals: Dict[str, _Signal] = {}
+        self._changes: List[Tuple[int, str, Union[int, float]]] = []
+
+    # -- declaration -------------------------------------------------------------
+
+    def _declare(self, name: str, kind: str, width: int) -> _Signal:
+        if name in self._signals:
+            raise ConfigurationError(f"signal {name!r} already declared")
+        signal = _Signal(name, _identifier(len(self._signals)), kind, width)
+        self._signals[name] = signal
+        return signal
+
+    def add_wire(self, name: str) -> None:
+        """Declare a 1-bit logic signal."""
+        self._declare(name, "wire", 1)
+
+    def add_integer(self, name: str, width: int = 32) -> None:
+        """Declare a multi-bit (two's complement) signal."""
+        if not 1 <= width <= 64:
+            raise ConfigurationError("width must be 1..64")
+        self._declare(name, "integer", width)
+
+    def add_real(self, name: str) -> None:
+        """Declare a real-valued (analogue) signal."""
+        self._declare(name, "real", 64)
+
+    # -- recording ----------------------------------------------------------------
+
+    def _time_units(self, time_s: float) -> int:
+        units = round(time_s * 1e9 / self.timescale_ns)
+        if units < 0:
+            raise ConfigurationError("negative timestamps are not representable")
+        return int(units)
+
+    def record(self, time_s: float, name: str, value: Union[int, float]) -> None:
+        """Record one value change (deduplicated against the last value)."""
+        if name not in self._signals:
+            raise ConfigurationError(f"signal {name!r} not declared")
+        signal = self._signals[name]
+        if signal.kind in ("wire", "integer"):
+            value = int(value)
+        if value == signal.last_value:
+            return
+        signal.last_value = value
+        self._changes.append((self._time_units(time_s), signal.identifier, value))
+
+    def record_detector(self, name: str, detector_output) -> None:
+        """Dump a :class:`~repro.analog.pulse_detector.DetectorOutput`."""
+        if name not in self._signals:
+            self.add_wire(name)
+        t_start, _ = detector_output.window
+        self.record(t_start, name, detector_output.initial_value)
+        for edge in detector_output.edges:
+            self.record(edge.time, name, edge.value)
+
+    def record_trace(self, name: str, trace: Trace, max_points: int = 2048) -> None:
+        """Dump an analogue trace as a real signal (decimated)."""
+        if name not in self._signals:
+            self.add_real(name)
+        stride = max(1, len(trace) // max_points)
+        for i in range(0, len(trace), stride):
+            self.record(float(trace.t[i]), name, float(trace.v[i]))
+
+    # -- output ----------------------------------------------------------------------
+
+    @staticmethod
+    def _format_value(signal: _Signal, value: Union[int, float]) -> str:
+        if signal.kind == "real":
+            return f"r{value:.9g} {signal.identifier}"
+        if signal.width == 1:
+            return f"{int(value) & 1}{signal.identifier}"
+        bits = format(int(value) & ((1 << signal.width) - 1), "b")
+        return f"b{bits} {signal.identifier}"
+
+    def render(self) -> str:
+        """The complete VCD document."""
+        if not self._signals:
+            raise ConfigurationError("no signals declared")
+        out = io.StringIO()
+        out.write("$date repro compass simulation $end\n")
+        out.write("$version repro 1.0 $end\n")
+        out.write(f"$timescale {self.timescale_ns:g} ns $end\n")
+        out.write(f"$scope module {self.module} $end\n")
+        for signal in self._signals.values():
+            kind = "real" if signal.kind == "real" else "wire"
+            out.write(
+                f"$var {kind} {signal.width} {signal.identifier} "
+                f"{signal.name} $end\n"
+            )
+        out.write("$upscope $end\n$enddefinitions $end\n")
+
+        current_time: Optional[int] = None
+        for time_units, identifier, value in sorted(
+            self._changes, key=lambda change: change[0]
+        ):
+            if time_units != current_time:
+                out.write(f"#{time_units}\n")
+                current_time = time_units
+            signal = next(
+                s for s in self._signals.values() if s.identifier == identifier
+            )
+            out.write(self._format_value(signal, value) + "\n")
+        return out.getvalue()
+
+    def write(self, path: str) -> None:
+        """Render to a file."""
+        with open(path, "w") as handle:
+            handle.write(self.render())

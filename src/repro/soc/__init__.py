@@ -1,0 +1,50 @@
+"""Sea-of-Gates array, cell library, compass netlist and MCM assembly."""
+
+from .cells import LIBRARY, Cell, get_cell, pairs_for
+from .mcm import (
+    Die,
+    MCMAssembly,
+    Net,
+    SubstratePassive,
+    build_compass_mcm,
+    requires_substrate,
+)
+from .floorplan import Floorplan, Rectangle, plan_compass
+from .netlist import CompassNetlist, MappingParameters
+from .sea_of_gates import PAIRS_PER_QUARTER, Block, FishboneSoG, Quarter
+from .timing import (
+    PathReport,
+    analyse_chip,
+    cordic_iteration_path,
+    counter_increment_path,
+    divider_stage_path,
+    max_clock_hz,
+)
+
+__all__ = [
+    "Block",
+    "Cell",
+    "CompassNetlist",
+    "Floorplan",
+    "Rectangle",
+    "plan_compass",
+    "Die",
+    "FishboneSoG",
+    "LIBRARY",
+    "MCMAssembly",
+    "MappingParameters",
+    "Net",
+    "PAIRS_PER_QUARTER",
+    "Quarter",
+    "PathReport",
+    "analyse_chip",
+    "cordic_iteration_path",
+    "counter_increment_path",
+    "divider_stage_path",
+    "max_clock_hz",
+    "SubstratePassive",
+    "build_compass_mcm",
+    "get_cell",
+    "pairs_for",
+    "requires_substrate",
+]

@@ -1,0 +1,108 @@
+"""Gate-array cell library with transistor counts.
+
+The fishbone Sea-of-Gates array is a sea of uncommitted pmos/nmos pairs;
+logic is built by personalising pairs into cells.  This library records,
+for every cell the compass netlist uses, how many transistor *pairs* the
+cell consumes — the currency of the §2 area claims ("The digital part of
+the integrated compass occupies 3 quarters fully and the analogue part 1
+quarter for less than 15%").
+
+Counts are standard static-CMOS figures (an inverter is 1 pair, a 2-input
+NAND 2 pairs, a D flip-flop ~12 pairs, …); analogue cells are sized per
+the ED&TC'94 analogue-on-SoG methodology the paper cites [Don94, Haa95].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell.
+
+    Attributes
+    ----------
+    name:
+        Library name.
+    transistor_pairs:
+        pmos/nmos pairs consumed when mapped onto the array.
+    kind:
+        ``"digital"`` or ``"analog"`` — analogue cells must be placed in
+        an analogue-supplied quarter.
+    description:
+        What the cell is.
+    """
+
+    name: str
+    transistor_pairs: int
+    kind: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.transistor_pairs < 1:
+            raise ConfigurationError("a cell uses at least one pair")
+        if self.kind not in ("digital", "analog"):
+            raise ConfigurationError(f"unknown cell kind {self.kind!r}")
+
+    @property
+    def transistors(self) -> int:
+        return 2 * self.transistor_pairs
+
+
+def _cell(name: str, pairs: int, kind: str, description: str) -> Cell:
+    return Cell(name, pairs, kind, description)
+
+
+#: The library.  Digital counts follow standard static-CMOS mappings;
+#: analogue counts include the dummy/guard pairs SoG analogue design needs.
+LIBRARY: Dict[str, Cell] = {
+    cell.name: cell
+    for cell in (
+        # -- digital cells ------------------------------------------------
+        _cell("inv", 1, "digital", "inverter"),
+        _cell("nand2", 2, "digital", "2-input NAND"),
+        _cell("nor2", 2, "digital", "2-input NOR"),
+        _cell("nand3", 3, "digital", "3-input NAND"),
+        _cell("aoi22", 4, "digital", "AND-OR-invert 2-2"),
+        _cell("xor2", 6, "digital", "2-input XOR"),
+        _cell("mux2", 4, "digital", "2:1 multiplexer"),
+        _cell("dff", 12, "digital", "D flip-flop"),
+        _cell("dff_sr", 16, "digital", "D flip-flop with set/reset"),
+        _cell("latch_sr", 4, "digital", "SR latch"),
+        _cell("fa", 14, "digital", "full adder"),
+        _cell("ha", 8, "digital", "half adder"),
+        _cell("tff", 14, "digital", "toggle flip-flop (divider stage)"),
+        _cell("rom_bit", 1, "digital", "ROM bit (personalised pair)"),
+        _cell("buf_clk", 4, "digital", "clock buffer"),
+        _cell("pad_driver", 20, "digital", "bond-pad driver"),
+        _cell("lcd_seg_driver", 6, "digital", "LCD segment driver"),
+        # -- analogue cells (SoG analogue style, [Haa95]/[Don94]) ----------
+        _cell("opamp", 40, "analog", "two-stage Miller op-amp"),
+        _cell("comparator", 24, "analog", "latched comparator"),
+        _cell("vi_converter", 60, "analog", "balanced differential V-I stage"),
+        _cell("osc_core", 50, "analog", "relaxation oscillator core"),
+        _cell("bias_gen", 30, "analog", "bias current generator"),
+        _cell("analog_switch", 4, "analog", "transmission-gate switch"),
+        _cell("cap_10pF", 200, "analog", "10 pF metal-metal capacitor footprint"),
+        _cell("preamp", 36, "analog", "pickup pre-amplifier"),
+    )
+}
+
+
+def get_cell(name: str) -> Cell:
+    """Library lookup with a helpful error."""
+    if name not in LIBRARY:
+        known = ", ".join(sorted(LIBRARY))
+        raise ConfigurationError(f"no cell {name!r} in library; have: {known}")
+    return LIBRARY[name]
+
+
+def pairs_for(name: str, count: int = 1) -> int:
+    """Total pairs consumed by ``count`` instances of a cell."""
+    if count < 0:
+        raise ConfigurationError("instance count must be non-negative")
+    return get_cell(name).transistor_pairs * count

@@ -1,0 +1,214 @@
+"""Two-dimensional floorplanning of the fishbone array (Figure 2).
+
+:mod:`repro.soc.sea_of_gates` answers *does it fit*; this module answers
+*where does it go*: blocks become rectangles of transistor-pair rows
+inside their quarter, the four quarters tile 2×2 as in the paper's
+Figure 2 die photo, and the analogue quarter is placed diagonally
+opposite the pad/clock-heavy quarter for supply-noise isolation (the
+reason §2 gives each quarter its own supply).
+
+The output is an ASCII floorplan — the reproduction's version of
+Figure 2 — plus the geometric queries (block centres, adjacency,
+isolation distance) the placement rules are tested with.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, ResourceError
+from .netlist import CompassNetlist
+from .sea_of_gates import PAIRS_PER_QUARTER, Block
+
+#: Geometry of one quarter: transistor-pair rows × pairs per row.
+ROWS_PER_QUARTER = 100
+PAIRS_PER_ROW = PAIRS_PER_QUARTER // ROWS_PER_QUARTER
+
+#: Quarter positions in the 2×2 die tiling: index → (row, col).
+QUARTER_TILES: Dict[int, Tuple[int, int]] = {
+    0: (0, 0),
+    1: (0, 1),
+    2: (1, 0),
+    3: (1, 1),
+}
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """A placed block: whole rows within one quarter.
+
+    Attributes
+    ----------
+    block_name:
+        Which block occupies the rows.
+    quarter:
+        Quarter index 0–3.
+    row_start, row_count:
+        Vertical extent in transistor-pair rows.
+    """
+
+    block_name: str
+    quarter: int
+    row_start: int
+    row_count: int
+
+    def __post_init__(self) -> None:
+        if self.row_start < 0 or self.row_count < 1:
+            raise ConfigurationError("invalid rectangle geometry")
+        if self.row_start + self.row_count > ROWS_PER_QUARTER:
+            raise ConfigurationError("rectangle exceeds the quarter")
+
+    @property
+    def row_end(self) -> int:
+        return self.row_start + self.row_count
+
+    def overlaps(self, other: "Rectangle") -> bool:
+        if self.quarter != other.quarter:
+            return False
+        return self.row_start < other.row_end and other.row_start < self.row_end
+
+    def centre(self) -> Tuple[float, float]:
+        """Die-level centre in quarter-normalised units (x right, y down)."""
+        tile_row, tile_col = QUARTER_TILES[self.quarter]
+        y = tile_row + (self.row_start + self.row_count / 2.0) / ROWS_PER_QUARTER
+        x = tile_col + 0.5
+        return x, y
+
+
+class Floorplan:
+    """Rectangles on the 2×2 fishbone die."""
+
+    def __init__(self) -> None:
+        self.rectangles: List[Rectangle] = []
+        self._next_free_row: Dict[int, int] = {q: 0 for q in QUARTER_TILES}
+
+    def place_block(self, block: Block, quarter: int) -> Rectangle:
+        """Append a block to a quarter's next free rows."""
+        if quarter not in QUARTER_TILES:
+            raise ConfigurationError(f"no quarter {quarter}")
+        rows_needed = math.ceil(block.transistor_pairs / PAIRS_PER_ROW)
+        start = self._next_free_row[quarter]
+        if start + rows_needed > ROWS_PER_QUARTER:
+            raise ResourceError(
+                f"quarter {quarter} out of rows for block {block.name!r} "
+                f"(needs {rows_needed}, {ROWS_PER_QUARTER - start} free)"
+            )
+        rect = Rectangle(block.name, quarter, start, rows_needed)
+        self.rectangles.append(rect)
+        self._next_free_row[quarter] = start + rows_needed
+        return rect
+
+    def find(self, block_name: str) -> Rectangle:
+        for rect in self.rectangles:
+            if rect.block_name == block_name:
+                return rect
+        raise ConfigurationError(f"block {block_name!r} not placed")
+
+    def utilised_rows(self, quarter: int) -> int:
+        return self._next_free_row[quarter]
+
+    def validate(self) -> None:
+        """No overlapping rectangles anywhere."""
+        for i, a in enumerate(self.rectangles):
+            for b in self.rectangles[i + 1:]:
+                if a.overlaps(b):
+                    raise ResourceError(
+                        f"blocks {a.block_name!r} and {b.block_name!r} overlap"
+                    )
+
+    def separation(self, name_a: str, name_b: str) -> float:
+        """Euclidean centre distance in quarter units (die is 2×2)."""
+        ax, ay = self.find(name_a).centre()
+        bx, by = self.find(name_b).centre()
+        return math.hypot(ax - bx, ay - by)
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, rows_per_char: int = 10) -> str:
+        """ASCII die plot: one text row per ``rows_per_char`` array rows."""
+        if rows_per_char < 1:
+            raise ConfigurationError("rows_per_char must be >= 1")
+        char_rows = ROWS_PER_QUARTER // rows_per_char
+        width = 30
+        half = width // 2
+
+        # legend letters
+        letters: Dict[str, str] = {}
+        for rect in self.rectangles:
+            base = rect.block_name.split(".")[0]
+            if base not in letters:
+                letters[base] = chr(ord("A") + len(letters) % 26)
+
+        grid = [["." for _ in range(width)] for _ in range(2 * char_rows)]
+        for rect in self.rectangles:
+            tile_row, tile_col = QUARTER_TILES[rect.quarter]
+            letter = letters[rect.block_name.split(".")[0]]
+            r0 = tile_row * char_rows + rect.row_start // rows_per_char
+            r1 = tile_row * char_rows + max(
+                rect.row_start // rows_per_char + 1,
+                math.ceil(rect.row_end / rows_per_char),
+            )
+            c0 = tile_col * half
+            for r in range(r0, min(r1, 2 * char_rows)):
+                for c in range(c0, c0 + half):
+                    grid[r][c] = letter
+
+        lines = ["+" + "-" * width + "+"]
+        for r, row in enumerate(grid):
+            if r == char_rows:
+                lines.append("+" + "-" * width + "+")
+            lines.append("|" + "".join(row) + "|")
+        lines.append("+" + "-" * width + "+")
+        lines.append("legend: " + "  ".join(
+            f"{letter}={name}" for name, letter in sorted(letters.items())
+        ))
+        return "\n".join(lines)
+
+
+def plan_compass(netlist: Optional[CompassNetlist] = None) -> Floorplan:
+    """Floorplan the compass netlist per the paper's arrangement.
+
+    Digital blocks fill quarters 0–2 (splitting oversized blocks across
+    quarter boundaries, as routed logic does); the analogue front-end
+    sits at the top of quarter 3 — diagonally opposite quarter 0, which
+    takes the pad/clock block, for supply-noise isolation.
+    """
+    netlist = netlist or CompassNetlist()
+    plan = Floorplan()
+
+    # The clock/pad block anchors quarter 0 so the noisy I/O corner is
+    # known; everything else fills greedily, largest first.
+    ordered = sorted(netlist.digital_blocks, key=lambda b: -b.transistor_pairs)
+    pads = next(b for b in ordered if b.name == "pads_clocks")
+    plan.place_block(pads, 0)
+    for block in ordered:
+        if block.name == "pads_clocks":
+            continue
+        remaining = block.transistor_pairs
+        part = 0
+        for quarter in (0, 1, 2):
+            free_rows = ROWS_PER_QUARTER - plan.utilised_rows(quarter)
+            free_pairs = free_rows * PAIRS_PER_ROW
+            if free_pairs <= 0:
+                continue
+            piece = min(free_pairs, remaining)
+            name = block.name if remaining <= free_pairs and part == 0 else (
+                f"{block.name}.part{part}"
+            )
+            plan.place_block(
+                Block(name, piece, block.kind), quarter
+            )
+            remaining -= piece
+            part += 1
+            if remaining == 0:
+                break
+        if remaining > 0:
+            raise ResourceError(
+                f"digital quarters out of rows for {block.name!r}"
+            )
+    for block in netlist.analog_blocks:
+        plan.place_block(block, 3)
+    plan.validate()
+    return plan

@@ -1,0 +1,202 @@
+"""The Multi-Chip Module that carries the SoG die and the two sensors (§2).
+
+"The SoG and two micromachined sensors will be combined on a single MCM,
+equipped with boundary scan test structures [Oli96]."  And from §3.1: the
+oscillator's 12.5 MΩ resistor "is realised on the substrate of the MCM",
+as must be any capacitor above 400 pF (§2).
+
+The model is an assembly-level bill of materials plus a net connectivity
+map: dies, substrate passives, and the substrate nets joining them.  The
+net map is what the boundary-scan interconnect test
+(:mod:`repro.btest.interconnect`) generates patterns against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError, ResourceError
+from ..units import OSCILLATOR_RESISTANCE, SOG_MAX_CAPACITANCE
+
+
+@dataclass(frozen=True)
+class SubstratePassive:
+    """A resistor or capacitor realised on the MCM substrate.
+
+    Attributes
+    ----------
+    name:
+        Reference designator.
+    kind:
+        ``"resistor"`` or ``"capacitor"``.
+    value:
+        Ohms or farads.
+    """
+
+    name: str
+    kind: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("resistor", "capacitor"):
+            raise ConfigurationError(f"unknown passive kind {self.kind!r}")
+        if self.value <= 0.0:
+            raise ConfigurationError("passive value must be positive")
+
+
+@dataclass(frozen=True)
+class Die:
+    """One bare die mounted on the MCM."""
+
+    name: str
+    pads: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pads) == 0:
+            raise ConfigurationError("a die needs at least one pad")
+        if len(set(self.pads)) != len(self.pads):
+            raise ConfigurationError(f"duplicate pad names on die {self.name!r}")
+
+
+@dataclass
+class Net:
+    """A substrate net: a named set of (die, pad) connections."""
+
+    name: str
+    connections: List[Tuple[str, str]] = field(default_factory=list)
+
+    def connect(self, die: str, pad: str) -> None:
+        if (die, pad) in self.connections:
+            raise ConfigurationError(
+                f"net {self.name!r} already connects {die}.{pad}"
+            )
+        self.connections.append((die, pad))
+
+
+class MCMAssembly:
+    """The compass MCM: SoG die, two sensor dies, substrate passives, nets."""
+
+    def __init__(self) -> None:
+        self.dies: Dict[str, Die] = {}
+        self.passives: Dict[str, SubstratePassive] = {}
+        self.nets: Dict[str, Net] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_die(self, die: Die) -> None:
+        if die.name in self.dies:
+            raise ConfigurationError(f"die {die.name!r} already mounted")
+        self.dies[die.name] = die
+
+    def add_passive(self, passive: SubstratePassive) -> None:
+        if passive.name in self.passives:
+            raise ConfigurationError(f"passive {passive.name!r} already placed")
+        self.passives[passive.name] = passive
+
+    def add_net(self, name: str) -> Net:
+        if name in self.nets:
+            raise ConfigurationError(f"net {name!r} already defined")
+        net = Net(name)
+        self.nets[name] = net
+        return net
+
+    def connect(self, net_name: str, die_name: str, pad_name: str) -> None:
+        """Attach a die pad to a substrate net, validating both exist."""
+        if net_name not in self.nets:
+            raise ConfigurationError(f"no net {net_name!r}")
+        if die_name not in self.dies:
+            raise ConfigurationError(f"no die {die_name!r}")
+        if pad_name not in self.dies[die_name].pads:
+            raise ConfigurationError(
+                f"die {die_name!r} has no pad {pad_name!r}"
+            )
+        self.nets[net_name].connect(die_name, pad_name)
+
+    # -- checks ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assembly design rules.
+
+        * every net connects at least two pads (floating nets are layout
+          errors),
+        * every die pad appears on at most one net (shorts are modelled in
+          the fault injector, not the good assembly).
+        """
+        seen: Dict[Tuple[str, str], str] = {}
+        for net in self.nets.values():
+            if len(net.connections) < 2:
+                raise ResourceError(f"net {net.name!r} is floating")
+            for conn in net.connections:
+                if conn in seen:
+                    raise ResourceError(
+                        f"pad {conn[0]}.{conn[1]} on both {seen[conn]!r} "
+                        f"and {net.name!r}"
+                    )
+                seen[conn] = net.name
+
+    def pad_count(self) -> int:
+        return sum(len(d.pads) for d in self.dies.values())
+
+
+def build_compass_mcm() -> MCMAssembly:
+    """The paper's assembly: SoG die + two fluxgate dies + passives.
+
+    Net list per Figure 1: differential excitation to each sensor, the two
+    pickup pairs back, the oscillator resistor, and the boundary-scan
+    access port on the substrate.
+    """
+    mcm = MCMAssembly()
+    mcm.add_die(
+        Die(
+            "sog",
+            pads=(
+                "exc_x_p", "exc_x_n", "exc_y_p", "exc_y_n",
+                "pick_x_p", "pick_x_n", "pick_y_p", "pick_y_n",
+                "osc_r1", "osc_r2",
+                "vdd_dig", "vss_dig", "vdd_ana", "vss_ana",
+                "tck", "tms", "tdi", "tdo",
+                "lcd_com", "lcd_seg0", "lcd_seg1", "lcd_seg2",
+            ),
+        )
+    )
+    for axis in ("x", "y"):
+        mcm.add_die(
+            Die(
+                f"sensor_{axis}",
+                pads=("exc_p", "exc_n", "pick_p", "pick_n"),
+            )
+        )
+    mcm.add_passive(
+        SubstratePassive("r_osc", "resistor", OSCILLATOR_RESISTANCE)
+    )
+    mcm.add_passive(
+        SubstratePassive("c_decouple", "capacitor", 100.0e-9)
+    )
+
+    for axis in ("x", "y"):
+        for sig, sog_pad, sens_pad in (
+            ("exc_p", f"exc_{axis}_p", "exc_p"),
+            ("exc_n", f"exc_{axis}_n", "exc_n"),
+            ("pick_p", f"pick_{axis}_p", "pick_p"),
+            ("pick_n", f"pick_{axis}_n", "pick_n"),
+        ):
+            net = mcm.add_net(f"{axis}_{sig}")
+            net.connect("sog", sog_pad)
+            net.connect(f"sensor_{axis}", sens_pad)
+    osc_net = mcm.add_net("osc_timing")
+    osc_net.connect("sog", "osc_r1")
+    osc_net.connect("sog", "osc_r2")
+    return mcm
+
+
+def requires_substrate(capacitance: float = 0.0, resistance: float = 0.0) -> bool:
+    """Whether a passive must live on the MCM rather than the array (§2).
+
+    Capacitors above 400 pF always; resistors above what a personalised
+    pair chain can realistically provide (~100 kΩ) too — the paper's
+    12.5 MΩ oscillator resistor being the example.
+    """
+    if capacitance < 0.0 or resistance < 0.0:
+        raise ConfigurationError("component values must be non-negative")
+    return capacitance > SOG_MAX_CAPACITANCE or resistance > 100.0e3

@@ -1,0 +1,257 @@
+"""The compass netlist and its mapping onto the fishbone array (§2).
+
+Builds every block of Figure 1 bottom-up from the cell library, applies
+the Sea-of-Gates personalisation efficiency, and places the result on the
+array to reproduce the paper's occupancy claims:
+
+* "The digital part of the integrated compass occupies 3 quarters fully
+  and the analogue part 1 quarter for less than 15%."
+
+**Personalisation efficiency.**  A channelless gate array never uses all
+its transistor pairs: routing runs over unpersonalised pairs, cells need
+isolation pairs, and automatic layout (the paper used the Ocean system
+[Gro93]) trades density for routability.  Era-typical utilisation for
+automatically placed-and-routed SoG designs was 10–30 % of raw pairs; the
+defaults below (12.5 % digital, 30 % hand-crafted analogue per [Haa95])
+are fitted so that our gate-accurate netlist lands on the paper's
+reported occupancy — the fit is called out in DESIGN.md §5 and probed by
+the AREA1 bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from ..units import OSCILLATOR_CAPACITANCE
+from .cells import pairs_for
+from .sea_of_gates import Block, FishboneSoG
+
+
+@dataclass(frozen=True)
+class MappingParameters:
+    """Raw-cells → array-pairs conversion factors.
+
+    Attributes
+    ----------
+    digital_efficiency:
+        Fraction of array pairs a routed digital block personalises.
+    analog_efficiency:
+        Same for analogue blocks (hand-crafted, denser, [Haa95]).
+    """
+
+    digital_efficiency: float = 0.125
+    analog_efficiency: float = 0.30
+
+    def __post_init__(self) -> None:
+        for name in ("digital_efficiency", "analog_efficiency"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1]")
+
+    def footprint(self, raw_pairs: int, kind: str) -> int:
+        """Array pairs consumed by ``raw_pairs`` of personalised cells."""
+        eff = (
+            self.digital_efficiency if kind == "digital" else self.analog_efficiency
+        )
+        return int(math.ceil(raw_pairs / eff))
+
+
+# -- raw cell counts per block -------------------------------------------------
+# Every function returns the raw personalised pairs of one Figure 1 block,
+# built from the library the way our behavioural models imply.
+
+
+def counter_raw_pairs(width_bits: int = 16) -> int:
+    """Up-down counter: loadable up/down stages plus carry logic."""
+    return (
+        pairs_for("dff_sr", width_bits)
+        + pairs_for("fa", width_bits)  # increment/decrement datapath
+        + pairs_for("mux2", width_bits)  # up/down select
+        + pairs_for("nand2", 24)  # enable/clear glue
+    )
+
+
+def cordic_raw_pairs(
+    register_width: int = 24, iterations: int = 8, angle_bits: int = 16
+) -> int:
+    """Time-multiplexed CORDIC: two add/subs, two barrel shifters, ROM."""
+    shifter_levels = max(1, math.ceil(math.log2(iterations)))
+    barrel = pairs_for("mux2", register_width * shifter_levels)
+    addsub = pairs_for("fa", register_width) + pairs_for("xor2", register_width)
+    registers = pairs_for("dff", 4 * register_width)  # x, y, prev copies
+    angle_path = pairs_for("fa", angle_bits) + pairs_for("dff", angle_bits)
+    rom = pairs_for("rom_bit", iterations * angle_bits)
+    sequencer = pairs_for("dff", 8) + pairs_for("nand2", 40)
+    return 2 * barrel + 2 * addsub + registers + angle_path + rom + sequencer
+
+
+def control_raw_pairs() -> int:
+    """Measurement FSM, mux control, power-gating enables."""
+    return (
+        pairs_for("dff_sr", 12)
+        + pairs_for("nand2", 60)
+        + pairs_for("nor2", 30)
+        + pairs_for("inv", 40)
+    )
+
+
+def watch_raw_pairs() -> int:
+    """Divider chain, time-of-day, alarm compare, stopwatch."""
+    divider = pairs_for("tff", 22)
+    time_of_day = pairs_for("dff_sr", 24) + pairs_for("fa", 18) + pairs_for("nand2", 40)
+    alarm = pairs_for("xor2", 17) + pairs_for("nand2", 10)
+    stopwatch = pairs_for("dff_sr", 20) + pairs_for("fa", 14)
+    return divider + time_of_day + alarm + stopwatch
+
+
+def display_raw_pairs(digits: int = 4) -> int:
+    """Segment decode, digit registers, LCD drivers, mode mux."""
+    decode_rom = pairs_for("rom_bit", 16 * 7)  # 16 glyphs × 7 segments
+    digit_regs = pairs_for("dff", digits * 7)
+    drivers = pairs_for("lcd_seg_driver", digits * 7 + 1)  # + colon
+    mode_mux = pairs_for("mux2", digits * 7)
+    return decode_rom + digit_regs + drivers + mode_mux
+
+
+def bscan_raw_pairs(chain_length: int = 40) -> int:
+    """IEEE 1149.1 TAP controller + boundary register ([Oli96])."""
+    tap = pairs_for("dff", 4) + pairs_for("nand3", 30) + pairs_for("inv", 20)
+    instruction = pairs_for("dff_sr", 4)
+    cells = chain_length * (pairs_for("dff", 2) + pairs_for("mux2", 2))
+    return tap + instruction + cells
+
+
+def pads_raw_pairs(n_pads: int = 40) -> int:
+    """Bond-pad drivers and clock buffers."""
+    return pairs_for("pad_driver", n_pads) + pairs_for("buf_clk", 8)
+
+
+def analog_raw_pairs() -> int:
+    """The whole §3 front-end: oscillator, V-I pair, detector, offset loop."""
+    return (
+        pairs_for("osc_core")
+        + pairs_for("cap_10pF")
+        + pairs_for("vi_converter", 2)
+        + pairs_for("bias_gen")
+        + pairs_for("preamp")
+        + pairs_for("comparator", 2)
+        + pairs_for("latch_sr")
+        + pairs_for("analog_switch", 4)
+        + pairs_for("opamp")  # DC-offset correction integrator
+    )
+
+
+class CompassNetlist:
+    """The complete chip netlist with block footprints on the array."""
+
+    def __init__(self, mapping: MappingParameters = MappingParameters()):
+        self.mapping = mapping
+        self.digital_blocks: List[Block] = [
+            self._block("counter", counter_raw_pairs(), "digital"),
+            self._block("cordic", cordic_raw_pairs(), "digital"),
+            self._block("control", control_raw_pairs(), "digital"),
+            self._block("watch", watch_raw_pairs(), "digital"),
+            self._block("display", display_raw_pairs(), "digital"),
+            self._block("boundary_scan", bscan_raw_pairs(), "digital"),
+            self._block("pads_clocks", pads_raw_pairs(), "digital"),
+        ]
+        self.analog_blocks: List[Block] = [
+            self._block(
+                "analog_front_end",
+                analog_raw_pairs(),
+                "analog",
+                capacitance=OSCILLATOR_CAPACITANCE,
+            ),
+        ]
+
+    def _block(
+        self, name: str, raw_pairs: int, kind: str, capacitance: float = 0.0
+    ) -> Block:
+        return Block(
+            name=name,
+            transistor_pairs=self.mapping.footprint(raw_pairs, kind),
+            kind=kind,
+            capacitance=capacitance,
+        )
+
+    # -- summaries --------------------------------------------------------------
+
+    def raw_pair_summary(self) -> Dict[str, int]:
+        """Raw personalised pairs per block (before mapping overhead)."""
+        return {
+            "counter": counter_raw_pairs(),
+            "cordic": cordic_raw_pairs(),
+            "control": control_raw_pairs(),
+            "watch": watch_raw_pairs(),
+            "display": display_raw_pairs(),
+            "boundary_scan": bscan_raw_pairs(),
+            "pads_clocks": pads_raw_pairs(),
+            "analog_front_end": analog_raw_pairs(),
+        }
+
+    def digital_pairs(self) -> int:
+        return sum(b.transistor_pairs for b in self.digital_blocks)
+
+    def analog_pairs(self) -> int:
+        return sum(b.transistor_pairs for b in self.analog_blocks)
+
+    # -- placement ---------------------------------------------------------------
+
+    def place(self, array: FishboneSoG = None) -> FishboneSoG:
+        """Place the netlist the way the paper describes.
+
+        Digital blocks fill quarters 0–2; the analogue front-end goes in
+        quarter 3 on its own supply.  Raises
+        :class:`~repro.errors.ResourceError` if anything does not fit.
+        """
+        if array is None:
+            array = FishboneSoG()
+        if len(array.quarters) < 4:
+            raise ConfigurationError("the fishbone array has 4 quarters")
+        for index in (0, 1, 2):
+            array.quarters[index].assign_supply("digital")
+        array.quarters[3].assign_supply("analog")
+
+        # Greedy fill of the digital quarters, largest blocks first.
+        for block in sorted(
+            self.digital_blocks, key=lambda b: -b.transistor_pairs
+        ):
+            placed = False
+            for index in (0, 1, 2):
+                if array.quarters[index].free_pairs >= block.transistor_pairs:
+                    array.place(block, index)
+                    placed = True
+                    break
+            if not placed:
+                # Split oversized blocks across quarters like routed logic
+                # actually is; keep halving until the pieces fit.
+                self._place_split(array, block)
+        for block in self.analog_blocks:
+            array.place(block, 3)
+        return array
+
+    def _place_split(self, array: FishboneSoG, block: Block) -> None:
+        remaining = block.transistor_pairs
+        part = 0
+        for index in (0, 1, 2):
+            free = array.quarters[index].free_pairs
+            if free <= 0:
+                continue
+            piece = min(free, remaining)
+            array.place(
+                Block(f"{block.name}.part{part}", piece, block.kind), index
+            )
+            remaining -= piece
+            part += 1
+            if remaining == 0:
+                return
+        raise_for = remaining
+        from ..errors import ResourceError
+
+        raise ResourceError(
+            f"digital quarters full: {raise_for} pairs of {block.name!r} "
+            "did not fit"
+        )

@@ -1,0 +1,166 @@
+"""Static timing analysis of the digital section on the Sea-of-Gates.
+
+The digital design runs at the full 4.194304 MHz counter clock — a
+238 ns period.  Whether that closes on a 1997-era 1 µm SoG process is a
+question the original flow answered with the Compass timing tools; this
+module answers it with the standard static model:
+
+    t_path = t_clk→q + Σ t_gate + t_setup ≤ T_clk − t_skew
+
+Gate delays are era-typical for a routing-dominated gate array (an
+inverter ~0.8 ns fanout-4; routed cells 2–3× slower than custom).  The
+critical path of the compass is the CORDIC iteration: barrel shifter →
+24-bit ripple add/sub → register, which is why the datapath *could* be
+pipelined but does not need to be at this clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..units import COUNTER_CLOCK_HZ
+
+#: Routed-cell propagation delays [ns], 1 µm SoG class.
+GATE_DELAYS_NS: Dict[str, float] = {
+    "inv": 0.8,
+    "nand2": 1.2,
+    "nor2": 1.4,
+    "xor2": 2.4,
+    "mux2": 1.8,
+    "aoi22": 1.6,
+    "fa_carry": 2.0,   # carry in → carry out of a full adder
+    "fa_sum": 2.6,     # inputs → sum
+    "dff_clk_q": 2.5,
+    "dff_setup": 1.5,
+}
+
+#: Clock-distribution uncertainty across three quarters [ns].
+CLOCK_SKEW_NS = 3.0
+
+
+@dataclass(frozen=True)
+class PathReport:
+    """One analysed register-to-register path."""
+
+    name: str
+    stages: Tuple[Tuple[str, float], ...]
+    clock_period_ns: float
+
+    @property
+    def delay_ns(self) -> float:
+        return sum(delay for _, delay in self.stages)
+
+    @property
+    def slack_ns(self) -> float:
+        return self.clock_period_ns - CLOCK_SKEW_NS - self.delay_ns
+
+    @property
+    def closes(self) -> bool:
+        return self.slack_ns >= 0.0
+
+    def describe(self) -> str:
+        lines = [f"path {self.name!r}:"]
+        running = 0.0
+        for stage, delay in self.stages:
+            running += delay
+            lines.append(f"  {stage:<28} +{delay:5.2f} ns  = {running:6.2f} ns")
+        lines.append(
+            f"  period {self.clock_period_ns:.2f} ns − skew {CLOCK_SKEW_NS:.1f} ns "
+            f"→ slack {self.slack_ns:+.2f} ns "
+            f"({'MET' if self.closes else 'VIOLATED'})"
+        )
+        return "\n".join(lines)
+
+
+def _delay(name: str) -> float:
+    if name not in GATE_DELAYS_NS:
+        known = ", ".join(sorted(GATE_DELAYS_NS))
+        raise ConfigurationError(f"no delay for {name!r}; have {known}")
+    return GATE_DELAYS_NS[name]
+
+
+def cordic_iteration_path(
+    register_width: int = 24,
+    iterations: int = 8,
+    clock_hz: float = COUNTER_CLOCK_HZ,
+) -> PathReport:
+    """The CORDIC's register→register critical path.
+
+    x_reg → barrel shifter (log2(iterations) mux levels) → ripple-carry
+    subtract (carry chain across the width) → y_reg setup.
+    """
+    if register_width < 2 or iterations < 1:
+        raise ConfigurationError("invalid datapath geometry")
+    shifter_levels = max(1, math.ceil(math.log2(iterations)))
+    stages: List[Tuple[str, float]] = [("x_reg clk→q", _delay("dff_clk_q"))]
+    for level in range(shifter_levels):
+        stages.append((f"barrel shifter level {level}", _delay("mux2")))
+    # Ripple carry: first FA produces carry, then width−2 carry hops,
+    # then the final sum.
+    stages.append(("subtract: first carry", _delay("fa_carry")))
+    stages.append(
+        (
+            f"subtract: {register_width - 2} carry hops",
+            (register_width - 2) * _delay("fa_carry"),
+        )
+    )
+    stages.append(("subtract: final sum", _delay("fa_sum")))
+    stages.append(("y_reg setup", _delay("dff_setup")))
+    return PathReport(
+        name=f"cordic iteration ({register_width}-bit ripple)",
+        stages=tuple(stages),
+        clock_period_ns=1e9 / clock_hz,
+    )
+
+
+def counter_increment_path(
+    width: int = 16, clock_hz: float = COUNTER_CLOCK_HZ
+) -> PathReport:
+    """The up-down counter's increment/decrement carry path."""
+    if width < 2:
+        raise ConfigurationError("counter too narrow")
+    stages = [
+        ("value clk→q", _delay("dff_clk_q")),
+        ("direction select", _delay("mux2")),
+        ("first carry", _delay("fa_carry")),
+        (f"{width - 2} carry hops", (width - 2) * _delay("fa_carry")),
+        ("final sum", _delay("fa_sum")),
+        ("value setup", _delay("dff_setup")),
+    ]
+    return PathReport(
+        name=f"up-down counter ({width}-bit ripple)",
+        stages=tuple(stages),
+        clock_period_ns=1e9 / clock_hz,
+    )
+
+
+def divider_stage_path(clock_hz: float = COUNTER_CLOCK_HZ) -> PathReport:
+    """One toggle stage of the watch divider (trivially fast)."""
+    stages = [
+        ("tff clk→q", _delay("dff_clk_q")),
+        ("toggle xor", _delay("xor2")),
+        ("tff setup", _delay("dff_setup")),
+    ]
+    return PathReport(
+        name="watch divider stage",
+        stages=tuple(stages),
+        clock_period_ns=1e9 / clock_hz,
+    )
+
+
+def analyse_chip(clock_hz: float = COUNTER_CLOCK_HZ) -> List[PathReport]:
+    """All modelled paths, worst first."""
+    reports = [
+        cordic_iteration_path(clock_hz=clock_hz),
+        counter_increment_path(clock_hz=clock_hz),
+        divider_stage_path(clock_hz=clock_hz),
+    ]
+    return sorted(reports, key=lambda r: r.slack_ns)
+
+
+def max_clock_hz(report: PathReport) -> float:
+    """Highest clock at which a path still closes (with the same skew)."""
+    return 1e9 / (report.delay_ns + CLOCK_SKEW_NS)

@@ -1,0 +1,105 @@
+"""Tests for the accuracy-analysis machinery."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.accuracy import (
+    ErrorStats,
+    heading_sweep,
+    magnitude_sweep,
+    monte_carlo_accuracy,
+    quantisation_floor_deg,
+    sweep_stats,
+)
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def compass():
+    return IntegratedCompass()
+
+
+class TestErrorStats:
+    def test_from_errors(self):
+        stats = ErrorStats.from_errors([-1.0, 0.5, 2.0])
+        assert stats.max_error == 2.0
+        assert stats.n_samples == 3
+        assert stats.rms_error == pytest.approx((5.25 / 3) ** 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ErrorStats.from_errors([])
+
+    def test_meets_budget(self):
+        stats = ErrorStats.from_errors([0.3, -0.8])
+        assert stats.meets(1.0)
+        assert not stats.meets(0.5)
+
+
+class TestHeadingSweep:
+    def test_sweep_covers_circle(self, compass):
+        points = heading_sweep(compass, n_points=8)
+        headings = [p.true_heading_deg for p in points]
+        assert len(headings) == 8
+        assert max(headings) - min(headings) > 300.0
+
+    def test_paper_accuracy_on_sweep(self, compass):
+        # The §6 claim at the default design point.
+        points = heading_sweep(compass, n_points=24)
+        stats = sweep_stats(points)
+        assert stats.meets(1.0)
+
+    def test_error_signs_preserved(self, compass):
+        points = heading_sweep(compass, n_points=8)
+        # SweepPoint.error_deg is signed; stats take magnitudes.
+        stats = sweep_stats(points)
+        assert stats.max_error >= abs(stats.mean_error)
+
+
+class TestMagnitudeSweep:
+    def test_insensitive_across_worldwide_range(self, compass):
+        results = magnitude_sweep(compass, [25e-6, 65e-6], n_headings=8)
+        for magnitude, stats in results:
+            assert stats.meets(1.0), f"failed at {magnitude*1e6:.0f} µT"
+
+    def test_empty_magnitudes_rejected(self, compass):
+        with pytest.raises(ConfigurationError):
+            magnitude_sweep(compass, [])
+
+
+class TestMonteCarlo:
+    def test_noise_seeds_stay_within_budget(self):
+        stats = monte_carlo_accuracy(
+            CompassConfig(), n_trials=3, n_headings=6
+        )
+        assert stats.n_samples == 18
+        assert stats.meets(1.0)
+
+    def test_custom_perturbation(self):
+        def perturb(config, trial):
+            fe = dataclasses.replace(config.front_end, noise_seed=trial + 100)
+            return dataclasses.replace(config, front_end=fe)
+
+        stats = monte_carlo_accuracy(
+            CompassConfig(), n_trials=2, n_headings=4, perturb=perturb
+        )
+        assert stats.n_samples == 8
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monte_carlo_accuracy(CompassConfig(), n_trials=0)
+
+
+class TestQuantisationFloor:
+    def test_floor_for_paper_full_scale(self):
+        # 4194 counts full scale → ~0.014° floor: far below 1°.
+        assert quantisation_floor_deg(4194) < 0.05
+
+    def test_floor_shrinks_with_resolution(self):
+        assert quantisation_floor_deg(8000) < quantisation_floor_deg(1000)
+
+    def test_invalid_full_scale(self):
+        with pytest.raises(ConfigurationError):
+            quantisation_floor_deg(0)

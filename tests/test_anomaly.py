@@ -1,0 +1,127 @@
+"""Tests for field-magnitude estimation and disturbance detection."""
+
+import pytest
+
+from repro.core.anomaly import (
+    AnomalyReport,
+    DetectorSettings,
+    FieldAnomalyDetector,
+    FieldVerdict,
+)
+from repro.core.compass import IntegratedCompass
+from repro.core.heading import HeadingMeasurement
+from repro.errors import ConfigurationError
+from repro.units import tesla_to_a_per_m
+
+
+def measurement(heading=45.0, field_t=50e-6):
+    return HeadingMeasurement(
+        heading_deg=heading,
+        x_count=100,
+        y_count=-100,
+        duty_x=0.6,
+        duty_y=0.4,
+        measurement_time_s=2.25e-3,
+        cordic_cycles=8,
+        field_estimate_a_per_m=tesla_to_a_per_m(field_t),
+    )
+
+
+class TestFieldEstimate:
+    @pytest.mark.parametrize("field_t", [30e-6, 50e-6, 65e-6])
+    def test_compass_recovers_magnitude(self, field_t):
+        compass = IntegratedCompass()
+        m = compass.measure_heading(123.0, field_t)
+        assert m.field_estimate_tesla == pytest.approx(field_t, rel=0.03)
+
+    def test_magnitude_heading_independent(self):
+        compass = IntegratedCompass()
+        estimates = [
+            compass.measure_heading(h, 45e-6).field_estimate_tesla
+            for h in (10.0, 100.0, 250.0)
+        ]
+        assert max(estimates) - min(estimates) < 1e-6
+
+    def test_tesla_conversion(self):
+        m = measurement(field_t=50e-6)
+        assert m.field_estimate_tesla == pytest.approx(50e-6)
+
+
+class TestDetectorSettings:
+    def test_invalid_band(self):
+        with pytest.raises(ConfigurationError):
+            DetectorSettings(min_field_t=70e-6, max_field_t=60e-6)
+
+    def test_invalid_jump_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            DetectorSettings(max_magnitude_jump=0.0)
+
+
+class TestVerdicts:
+    def test_terrestrial_field_ok(self):
+        detector = FieldAnomalyDetector()
+        report = detector.check(measurement(field_t=50e-6))
+        assert report.verdict is FieldVerdict.OK
+        assert report.trusted
+
+    def test_weak_field_flagged(self):
+        detector = FieldAnomalyDetector()
+        report = detector.check(measurement(field_t=5e-6))
+        assert report.verdict is FieldVerdict.TOO_WEAK
+        assert "shielding" in report.detail
+
+    def test_strong_field_flagged(self):
+        detector = FieldAnomalyDetector()
+        report = detector.check(measurement(field_t=300e-6))
+        assert report.verdict is FieldVerdict.TOO_STRONG
+        assert "magnetised" in report.detail
+
+    def test_joint_jump_flagged_unstable(self):
+        detector = FieldAnomalyDetector()
+        detector.check(measurement(heading=45.0, field_t=50e-6))
+        report = detector.check(measurement(heading=130.0, field_t=70e-6))
+        assert report.verdict is FieldVerdict.UNSTABLE
+
+    def test_heading_jump_alone_is_fine(self):
+        # The user may genuinely turn fast; only the *joint* jump flags.
+        detector = FieldAnomalyDetector()
+        detector.check(measurement(heading=45.0, field_t=50e-6))
+        report = detector.check(measurement(heading=130.0, field_t=50e-6))
+        assert report.verdict is FieldVerdict.OK
+
+    def test_magnitude_jump_alone_within_band_is_fine(self):
+        detector = FieldAnomalyDetector()
+        detector.check(measurement(heading=45.0, field_t=40e-6))
+        report = detector.check(measurement(heading=47.0, field_t=60e-6))
+        assert report.verdict is FieldVerdict.OK
+
+
+class TestStreamBehaviour:
+    def test_history_and_trusted_fraction(self):
+        detector = FieldAnomalyDetector()
+        detector.check(measurement(field_t=50e-6))
+        detector.check(measurement(field_t=300e-6))
+        detector.check(measurement(field_t=50e-6))
+        assert len(detector.history) == 3
+        assert detector.trusted_fraction() == pytest.approx(2.0 / 3.0)
+
+    def test_reset(self):
+        detector = FieldAnomalyDetector()
+        detector.check(measurement())
+        detector.reset()
+        with pytest.raises(ConfigurationError):
+            detector.trusted_fraction()
+
+    def test_end_to_end_magnet_scenario(self):
+        # Walking past a magnetised object: the compass heading looks
+        # plausible throughout, but the detector flags the bad stretch.
+        compass = IntegratedCompass()
+        detector = FieldAnomalyDetector()
+        verdicts = []
+        # Normal earth field, then a "magnet" tripling the field, then
+        # normal again.
+        for field_t in (50e-6, 50e-6, 150e-6, 50e-6):
+            m = compass.measure_heading(60.0, field_t)
+            verdicts.append(detector.check(m).verdict)
+        assert verdicts[0] is FieldVerdict.OK
+        assert verdicts[2] is FieldVerdict.TOO_STRONG

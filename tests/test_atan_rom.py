@@ -1,0 +1,74 @@
+"""Tests for the CORDIC arctangent ROM."""
+
+import math
+
+import pytest
+
+from repro.digital.atan_rom import (
+    ANGLE_FRAC_BITS,
+    algorithmic_residual_deg,
+    build_rom,
+    max_representable_angle_deg,
+    rom_entry_degrees,
+    rotation_angle_deg,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRotationAngles:
+    def test_first_angle_is_45_degrees(self):
+        assert rotation_angle_deg(0) == pytest.approx(45.0)
+
+    def test_angles_halve_asymptotically(self):
+        # atan(2^-i) → 2^-i rad for large i.
+        a_big = rotation_angle_deg(8)
+        a_bigger = rotation_angle_deg(9)
+        assert a_big / a_bigger == pytest.approx(2.0, rel=1e-3)
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rotation_angle_deg(-1)
+
+
+class TestRom:
+    def test_paper_rom_has_8_entries(self):
+        rom = build_rom(8)
+        assert len(rom) == 8
+
+    def test_entries_decrease(self):
+        rom = build_rom(8)
+        assert all(a > b for a, b in zip(rom, rom[1:]))
+
+    def test_quantisation_error_below_half_lsb(self):
+        rom = build_rom(8)
+        for i, entry in enumerate(rom):
+            exact = rotation_angle_deg(i)
+            assert rom_entry_degrees(entry) == pytest.approx(
+                exact, abs=0.5 / (1 << ANGLE_FRAC_BITS)
+            )
+
+    def test_first_entry_value(self):
+        # 45° at 8 fractional bits = 45 · 256 = 11520.
+        assert build_rom(8)[0] == 11520
+
+    def test_invalid_iteration_count(self):
+        with pytest.raises(ConfigurationError):
+            build_rom(0)
+        with pytest.raises(ConfigurationError):
+            build_rom(64)
+
+
+class TestCoverage:
+    def test_max_angle_covers_first_octant_plus(self):
+        # 8 iterations sum to ~99.9°: the 0–90° fold always reachable.
+        assert max_representable_angle_deg(8) > 90.0
+
+    def test_residual_at_8_iterations_supports_1_degree_claim(self):
+        # atan(1/128) ≈ 0.448° — the paper's "accuracy of one degree"
+        # comes from this residual staying below half the budget.
+        residual = algorithmic_residual_deg(8)
+        assert residual == pytest.approx(math.degrees(math.atan(1 / 128)), rel=1e-6)
+        assert residual < 0.5
+
+    def test_more_iterations_shrink_residual(self):
+        assert algorithmic_residual_deg(12) < algorithmic_residual_deg(8) / 10

@@ -1,0 +1,114 @@
+"""Tests for the BCD counter chain, including behavioural equivalence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.digital.bcd import BCDChain, BCDDigit, BCDTimeCounter
+from repro.digital.watch import TimeOfDay
+from repro.errors import ConfigurationError
+
+
+class TestBCDDigit:
+    def test_counts_and_wraps(self):
+        digit = BCDDigit(wrap_at=9)
+        carries = [digit.increment() for _ in range(10)]
+        assert carries == [False] * 9 + [True]
+        assert digit.value == 0
+
+    def test_custom_wrap(self):
+        digit = BCDDigit(wrap_at=5)
+        for _ in range(5):
+            assert not digit.increment()
+        assert digit.increment()  # 5 → 0 with carry
+
+    def test_bits_are_8421(self):
+        digit = BCDDigit()
+        for _ in range(6):
+            digit.increment()
+        assert digit.bits == (0, 1, 1, 0)
+
+    def test_invalid_wrap(self):
+        with pytest.raises(ConfigurationError):
+            BCDDigit(wrap_at=10)
+
+
+class TestBCDChain:
+    def test_value_round_trip(self):
+        chain = BCDChain([9, 9])
+        chain.set_value(42)
+        assert chain.value() == 42
+
+    def test_ripple_carry(self):
+        chain = BCDChain([9, 5])  # a seconds counter
+        chain.set_value(59)
+        assert chain.increment()  # wraps the whole chain
+        assert chain.value() == 0
+
+    def test_counts_through_full_range(self):
+        chain = BCDChain([9, 5])
+        seen = []
+        for _ in range(60):
+            seen.append(chain.value())
+            chain.increment()
+        assert seen == list(range(60))
+        assert chain.value() == 0
+
+    def test_set_value_validation(self):
+        chain = BCDChain([9, 5])
+        with pytest.raises(ConfigurationError):
+            chain.set_value(60)  # tens digit would exceed its wrap
+        with pytest.raises(ConfigurationError):
+            chain.set_value(100)
+        with pytest.raises(ConfigurationError):
+            chain.set_value(-1)
+
+
+class TestBCDTimeCounter:
+    def test_midnight_rollover(self):
+        counter = BCDTimeCounter()
+        counter.set_time(23, 59, 59)
+        counter.tick_second()
+        assert str(counter.as_time_of_day()) == "00:00:00"
+
+    def test_minute_carry(self):
+        counter = BCDTimeCounter()
+        counter.set_time(10, 9, 59)
+        counter.tick_second()
+        assert str(counter.as_time_of_day()) == "10:10:00"
+
+    def test_display_digits(self):
+        counter = BCDTimeCounter()
+        counter.set_time(9, 41)
+        assert counter.display_digits() == "0941"
+
+    def test_invalid_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BCDTimeCounter().set_time(24, 0)
+
+    @given(
+        start=st.integers(min_value=0, max_value=86399),
+        ticks=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=30)
+    def test_equivalent_to_behavioural_time(self, start, ticks):
+        # The BCD silicon and the behavioural TimeOfDay must agree tick
+        # for tick — the digital designer's equivalence check.
+        behavioural = TimeOfDay(start // 3600, (start % 3600) // 60, start % 60)
+        counter = BCDTimeCounter()
+        counter.set_time(
+            behavioural.hours, behavioural.minutes, behavioural.seconds
+        )
+        for _ in range(ticks):
+            counter.tick_second()
+        assert counter.as_time_of_day() == behavioural.advance(ticks)
+
+    def test_digits_feed_display_driver(self):
+        from repro.digital.display import DisplayDriver
+
+        counter = BCDTimeCounter()
+        counter.set_time(15, 4)
+        driver = DisplayDriver()
+        frame = driver.render_time(
+            counter.hours.value(), counter.minutes.value()
+        )
+        assert frame.text == counter.display_digits()

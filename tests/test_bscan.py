@@ -1,0 +1,142 @@
+"""Tests for the boundary-scan registers and scan port."""
+
+import pytest
+
+from repro.btest.bscan import (
+    IR_WIDTH,
+    BoundaryScanDevice,
+    CellDirection,
+    Instruction,
+    ScanPort,
+)
+from repro.errors import ConfigurationError, ProtocolError
+
+
+def make_device(name="dut", n_nets=3, idcode=0x12345_67D):
+    cells = []
+    for i in range(n_nets):
+        cells.append((f"out{i}", CellDirection.OUTPUT))
+        cells.append((f"in{i}", CellDirection.INPUT))
+    return BoundaryScanDevice(name, cells, idcode=idcode)
+
+
+class TestDeviceConstruction:
+    def test_empty_register_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundaryScanDevice("x", [])
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundaryScanDevice(
+                "x", [("a", CellDirection.INPUT), ("a", CellDirection.OUTPUT)]
+            )
+
+    def test_idcode_lsb_must_be_one(self):
+        with pytest.raises(ConfigurationError, match="bit 0"):
+            make_device(idcode=0x2)
+
+    def test_resets_to_idcode_instruction(self):
+        device = make_device()
+        device.instruction = Instruction.EXTEST
+        device.on_test_logic_reset()
+        assert device.instruction is Instruction.IDCODE
+
+
+class TestInstructionRegister:
+    def test_capture_value_is_mandatory_01(self):
+        device = make_device()
+        device.capture_ir()
+        # Shift all four bits out: LSB (1) leaves first.
+        bits = [device.shift_ir(0) for _ in range(IR_WIDTH)]
+        assert bits == [1, 0, 0, 0]
+
+    def test_unknown_opcode_decodes_to_bypass(self):
+        device = make_device()
+        device._ir_shift = [0, 1, 1, 0]
+        device.update_ir()
+        assert device.instruction is Instruction.BYPASS
+
+
+class TestScanPort:
+    def test_reset_reaches_idle(self):
+        port = ScanPort([make_device()])
+        port.reset()
+
+    def test_idcode_read(self):
+        port = ScanPort([make_device(idcode=0xDEADBEE1)])
+        assert port.read_idcodes() == [0xDEADBEE1]
+
+    def test_chained_idcodes(self):
+        port = ScanPort([make_device("a", idcode=0x1111_1111),
+                         make_device("b", idcode=0x2222_2223)])
+        codes = port.read_idcodes()
+        assert codes == [0x1111_1111, 0x2222_2223]
+
+    def test_load_instruction_all_devices(self):
+        port = ScanPort([make_device("a"), make_device("b")])
+        port.reset()
+        port.load_instruction(Instruction.EXTEST)
+        assert all(d.instruction is Instruction.EXTEST for d in port.devices)
+
+    def test_bypass_is_single_bit(self):
+        device = make_device()
+        port = ScanPort([device])
+        port.reset()
+        port.load_instruction(Instruction.BYPASS)
+        # A marker shifted in appears after exactly one clock of latency.
+        out = port.scan_dr([1, 0, 0])
+        assert out[1] == 1
+
+    def test_sample_captures_pad_inputs(self):
+        device = make_device(n_nets=2)
+        port = ScanPort([device])
+        port.reset()
+        port.load_instruction(Instruction.SAMPLE)
+        device.set_pad_input("in0", 1)
+        device.set_pad_input("in1", 0)
+        captured = port.scan_dr([0] * 4)
+        # Register layout: out0, in0, out1, in1.
+        assert captured[1] == 1
+        assert captured[3] == 0
+
+    def test_extest_drives_outputs_on_update(self):
+        device = make_device(n_nets=2)
+        port = ScanPort([device])
+        port.reset()
+        port.load_instruction(Instruction.EXTEST)
+        # Drive out0=1, out1=0 (cell order: out0, in0, out1, in1).
+        port.scan_dr([1, 0, 0, 0])
+        assert device.driven_values() == {"out0": 1, "out1": 0}
+
+    def test_sample_does_not_drive(self):
+        device = make_device(n_nets=1)
+        port = ScanPort([device])
+        port.reset()
+        port.load_instruction(Instruction.SAMPLE)
+        port.scan_dr([1, 0])
+        assert device.driven_values() == {"out0": 0}
+
+    def test_scan_requires_idle(self):
+        port = ScanPort([make_device()])
+        with pytest.raises(ProtocolError, match="Run-Test/Idle"):
+            port.scan_dr([0])
+
+    def test_ir_scan_length_checked(self):
+        port = ScanPort([make_device()])
+        port.reset()
+        with pytest.raises(ProtocolError, match="IR scan needs"):
+            port.scan_ir([0] * 3)
+
+    def test_chain_length_discovery(self):
+        device = make_device(n_nets=3)  # 6 boundary cells
+        port = ScanPort([device])
+        port.reset()
+        port.load_instruction(Instruction.EXTEST)
+        assert port.chain_length_dr() == 6
+
+    def test_invalid_pad_value(self):
+        device = make_device()
+        with pytest.raises(ProtocolError):
+            device.set_pad_input("in0", 2)
+        with pytest.raises(ConfigurationError):
+            device.set_pad_input("out0", 1)

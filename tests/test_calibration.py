@@ -1,0 +1,152 @@
+"""Tests for the ellipse-fit compass calibration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    CalibrationModel,
+    align_to_reference,
+    collect_calibration_samples,
+    fit_ellipse_calibration,
+    identity_calibration,
+)
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.errors import CalibrationError
+from repro.sensors.pair import PairImperfections
+
+
+def synthetic_samples(
+    n=24, radius=1000.0, offset=(0.0, 0.0), gain_y=1.0, misalign_deg=0.0
+):
+    """Raw counter pairs of an imperfect pair swept through a full turn."""
+    samples = []
+    for i in range(n):
+        theta = 2 * math.pi * i / n
+        x = radius * math.cos(theta) + offset[0]
+        y_angle = theta + math.radians(90.0 + misalign_deg)
+        y = gain_y * radius * math.cos(y_angle) + offset[1]
+        samples.append((x, y))
+    return samples
+
+
+class TestIdentityCalibration:
+    def test_no_op(self):
+        cal = identity_calibration()
+        assert cal.apply(3.0, -4.0) == (3.0, -4.0)
+
+    def test_heading_convention(self):
+        cal = identity_calibration()
+        # x=+r, y=0 → heading 0; x=0, y=-r → heading 90.
+        assert cal.corrected_heading_deg(100.0, 0.0) == pytest.approx(0.0)
+        assert cal.corrected_heading_deg(0.0, -100.0) == pytest.approx(90.0)
+
+
+class TestEllipseFit:
+    def test_perfect_circle_recovers_identity(self):
+        cal = fit_ellipse_calibration(synthetic_samples())
+        assert cal.offset_x == pytest.approx(0.0, abs=1e-6)
+        assert cal.offset_y == pytest.approx(0.0, abs=1e-6)
+        m = np.array(cal.matrix)
+        assert np.allclose(m, np.eye(2), atol=1e-6)
+
+    def test_offsets_recovered(self):
+        cal = fit_ellipse_calibration(synthetic_samples(offset=(120.0, -80.0)))
+        assert cal.offset_x == pytest.approx(120.0, abs=0.5)
+        assert cal.offset_y == pytest.approx(-80.0, abs=0.5)
+
+    def test_gain_mismatch_corrected(self):
+        samples = synthetic_samples(gain_y=1.2)
+        cal = fit_ellipse_calibration(samples)
+        corrected = [cal.apply(x, y) for x, y in samples]
+        radii = [math.hypot(cx, cy) for cx, cy in corrected]
+        assert max(radii) / min(radii) == pytest.approx(1.0, abs=1e-6)
+
+    def test_misalignment_corrected(self):
+        samples = synthetic_samples(misalign_deg=5.0)
+        cal = fit_ellipse_calibration(samples)
+        corrected = [cal.apply(x, y) for x, y in samples]
+        radii = [math.hypot(cx, cy) for cx, cy in corrected]
+        assert max(radii) / min(radii) == pytest.approx(1.0, abs=1e-4)
+
+    def test_corrected_radius_preserved(self):
+        samples = synthetic_samples(gain_y=1.3, offset=(50.0, 20.0))
+        cal = fit_ellipse_calibration(samples)
+        corrected = [cal.apply(x, y) for x, y in samples]
+        mean_radius = np.mean([math.hypot(cx, cy) for cx, cy in corrected])
+        assert mean_radius == pytest.approx(cal.radius, rel=0.02)
+
+    def test_too_few_samples(self):
+        with pytest.raises(CalibrationError, match="at least 6"):
+            fit_ellipse_calibration(synthetic_samples()[:5])
+
+    def test_collinear_samples_rejected(self):
+        samples = [(float(i), 2.0 * i) for i in range(10)]
+        with pytest.raises(CalibrationError):
+            fit_ellipse_calibration(samples)
+
+    def test_all_zero_samples_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_ellipse_calibration([(0.0, 0.0)] * 8)
+
+
+class TestHeadingCorrection:
+    def test_ellipse_only_leaves_constant_rotation(self):
+        # The fit alone cannot observe a global rotation: misalignment
+        # leaves a constant heading offset that varies < 0.1° over the
+        # circle.
+        samples = synthetic_samples(n=36, gain_y=1.15, misalign_deg=4.0)
+        cal = fit_ellipse_calibration(samples)
+        errors = []
+        for i, (x, y) in enumerate(samples):
+            true_heading = math.degrees(2 * math.pi * i / 36) % 360.0
+            got = cal.corrected_heading_deg(x, y)
+            errors.append((got - true_heading + 180.0) % 360.0 - 180.0)
+        assert max(errors) - min(errors) < 0.1  # constant offset
+        assert abs(errors[0]) > 1.0             # but a real offset
+
+    def test_reference_alignment_removes_rotation(self):
+        offset = (150.0, -60.0)
+        samples = synthetic_samples(
+            n=36, offset=offset, gain_y=1.15, misalign_deg=4.0
+        )
+        cal = fit_ellipse_calibration(samples)
+        # One known-heading sighting (sample 0 is heading 0).
+        cal = align_to_reference(cal, *samples[0], true_heading_deg=0.0)
+        worst = 0.0
+        for i, (x, y) in enumerate(samples):
+            true_heading = math.degrees(2 * math.pi * i / 36) % 360.0
+            got = cal.corrected_heading_deg(x, y)
+            err = abs((got - true_heading + 180.0) % 360.0 - 180.0)
+            worst = max(worst, err)
+        assert worst < 0.1
+
+
+class TestEndToEndCalibration:
+    def test_full_compass_calibration_loop(self):
+        imperfections = PairImperfections(
+            misalignment_deg=3.0, gain_mismatch=0.10, offset_x=4.0, offset_y=-2.0
+        )
+        compass = IntegratedCompass(CompassConfig(imperfections=imperfections))
+        samples = collect_calibration_samples(compass, n_points=24)
+        cal = fit_ellipse_calibration(samples)
+        # One reference sighting at heading 0 (the first turntable stop).
+        cal = align_to_reference(cal, *samples[0], true_heading_deg=0.0)
+
+        # Measure at fresh headings and correct through the model.
+        worst_raw, worst_cal = 0.0, 0.0
+        for true_heading in (7.0, 95.0, 201.0, 310.0):
+            m = compass.measure_heading(true_heading)
+            raw_err = m.error_against(true_heading)
+            corrected = cal.corrected_heading_deg(m.x_count, m.y_count)
+            cal_err = abs((corrected - true_heading + 180.0) % 360.0 - 180.0)
+            worst_raw = max(worst_raw, raw_err)
+            worst_cal = max(worst_cal, cal_err)
+        assert worst_raw > 3.0      # imperfections clearly visible
+        assert worst_cal < 1.0      # calibration restores the 1° budget
+
+    def test_collect_requires_enough_points(self):
+        compass = IntegratedCompass()
+        with pytest.raises(CalibrationError):
+            collect_calibration_samples(compass, n_points=4)

@@ -1,0 +1,50 @@
+"""Tests for the gate-array cell library."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.cells import LIBRARY, Cell, get_cell, pairs_for
+
+
+class TestLibrary:
+    def test_inverter_is_one_pair(self):
+        assert get_cell("inv").transistor_pairs == 1
+        assert get_cell("inv").transistors == 2
+
+    def test_standard_digital_cells_present(self):
+        for name in ("nand2", "xor2", "dff", "fa", "tff", "latch_sr"):
+            assert name in LIBRARY
+            assert LIBRARY[name].kind == "digital"
+
+    def test_analog_cells_marked(self):
+        for name in ("opamp", "comparator", "vi_converter", "osc_core"):
+            assert LIBRARY[name].kind == "analog"
+
+    def test_dff_larger_than_nand(self):
+        assert get_cell("dff").transistor_pairs > get_cell("nand2").transistor_pairs
+
+    def test_unknown_cell_lists_library(self):
+        with pytest.raises(ConfigurationError, match="no cell"):
+            get_cell("flux_capacitor")
+
+
+class TestPairsFor:
+    def test_multiplies_instances(self):
+        assert pairs_for("dff", 16) == 16 * get_cell("dff").transistor_pairs
+
+    def test_zero_instances(self):
+        assert pairs_for("inv", 0) == 0
+
+    def test_negative_instances_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pairs_for("inv", -1)
+
+
+class TestCellValidation:
+    def test_zero_pairs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cell("bad", 0, "digital", "nothing")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cell("bad", 1, "quantum", "nope")

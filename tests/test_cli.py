@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("measure", "sweep", "power", "area", "scan", "watch"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestMeasure:
+    def test_default_measurement(self, capsys):
+        assert main(["measure"]) == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+        assert "LCD" in out
+
+    def test_custom_heading_and_field(self, capsys):
+        assert main(["measure", "--heading", "270", "--field", "35"]) == 0
+        out = capsys.readouterr().out
+        assert "true heading : 270.00 deg" in out
+        assert "W" in out
+
+
+class TestSweep:
+    def test_sweep_passes_budget(self, capsys):
+        assert main(["sweep", "--points", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "max |error|" in out
+        assert out.count("->") == 8
+
+
+class TestPower:
+    def test_power_report(self, capsys):
+        assert main(["power", "--rate", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gated (paper design)" in out
+        assert "always-on" in out
+
+
+class TestArea:
+    def test_area_report(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "quarter 0: digital" in out
+        assert "cordic" in out
+
+
+class TestScan:
+    def test_good_board_passes(self, capsys):
+        assert main(["scan"]) == 0
+        assert "RESULT: PASS" in capsys.readouterr().out
+
+    def test_fault_injection_fails(self, capsys):
+        assert main(["scan", "--fault", "open:x_pick_p"]) == 1
+        out = capsys.readouterr().out
+        assert "RESULT: FAIL" in out
+        assert "open/stuck-1" in out
+
+    def test_complement_mode(self, capsys):
+        assert main(["scan", "--complement", "--fault", "stuck0:osc_timing"]) == 1
+        assert "stuck-0" in capsys.readouterr().out
+
+    def test_unknown_fault_kind(self, capsys):
+        assert main(["scan", "--fault", "melted:x_pick_p"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+
+class TestDatasheet:
+    def test_datasheet_renders(self, capsys):
+        assert main(["datasheet", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "MEASURED DATASHEET" in out
+        assert "heading accuracy (max)" in out
+
+
+class TestFloorplan:
+    def test_floorplan_renders(self, capsys):
+        assert main(["floorplan"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "analog_front_end" in out
+
+
+class TestWatch:
+    def test_watch_advances(self, capsys):
+        assert main(["watch", "--set", "08:30", "--advance", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "08:31:30" in out

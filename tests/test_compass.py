@@ -1,0 +1,105 @@
+"""Tests for the integrated compass — the paper's headline system."""
+
+import dataclasses
+
+import pytest
+
+from repro.analog.mux import MeasurementSchedule
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.digital.display import DisplayMode
+from repro.errors import ConfigurationError
+from repro.physics.earth_field import DipoleEarthField
+from repro.sensors.parameters import MICROMACHINED_KAW95
+
+
+@pytest.fixture(scope="module")
+def compass():
+    return IntegratedCompass()
+
+
+class TestConstruction:
+    def test_default_config_is_paper_design_point(self):
+        config = CompassConfig()
+        assert config.cordic_iterations == 8
+        assert config.counter.clock_hz == 4.194304e6
+        assert config.front_end.excitation.current_pp == pytest.approx(12e-3)
+
+    def test_kaw95_sensor_rejected_at_construction(self):
+        # §2.1.1: the measured sensor cannot serve the compass.
+        config = CompassConfig(sensor=MICROMACHINED_KAW95)
+        with pytest.raises(ConfigurationError, match="not[\\s\\S]*saturated"):
+            IntegratedCompass(config)
+
+
+class TestMeasurement:
+    @pytest.mark.parametrize("true_heading", [0.5, 45.0, 137.2, 240.0, 359.0])
+    def test_heading_within_one_degree(self, compass, true_heading):
+        m = compass.measure_heading(true_heading)
+        assert m.error_against(true_heading) < 1.0
+
+    def test_counts_have_expected_signs(self, compass):
+        m = compass.measure_heading(0.5)  # facing ~north
+        assert m.x_count > 0
+        m_east = compass.measure_heading(90.0)
+        assert m_east.y_count < 0
+
+    def test_cordic_used_8_cycles(self, compass):
+        assert compass.measure_heading(123.0).cordic_cycles == 8
+
+    def test_duty_cycles_reported(self, compass):
+        m = compass.measure_heading(0.5)
+        assert m.duty_x > 0.5  # positive field on x
+        assert m.duty_y == pytest.approx(0.5, abs=0.01)
+
+    def test_measurement_time(self, compass):
+        m = compass.measure_heading(10.0)
+        # 18 excitation periods + 8 CORDIC cycles ≈ 2.25 ms.
+        assert m.measurement_time_s == pytest.approx(2.25e-3, rel=0.01)
+
+    def test_measure_components_direct(self, compass):
+        m = compass.measure_components(40.0, 0.0)
+        assert m.error_against(0.0) < 1.0
+
+    def test_measure_in_dipole_field(self, compass):
+        field = DipoleEarthField().field_at(52.22, 6.89)  # Enschede
+        m = compass.measure_in_field(field, true_heading_deg=200.0)
+        assert m.error_against(200.0) < 1.0
+
+
+class TestFieldMagnitudeInsensitivity:
+    @pytest.mark.parametrize("magnitude_t", [25e-6, 45e-6, 65e-6])
+    def test_paper_worldwide_range(self, compass, magnitude_t):
+        # §4: 25 µT in South America … 65 µT near the pole.
+        m = compass.measure_heading(123.0, magnitude_t)
+        assert m.error_against(123.0) < 1.0
+
+
+class TestConfigurationKnobs:
+    def test_more_counting_periods_allowed(self):
+        config = CompassConfig(schedule=MeasurementSchedule(count_periods=16))
+        compass = IntegratedCompass(config)
+        m = compass.measure_heading(77.0)
+        assert m.error_against(77.0) < 1.0
+        # Twice the periods → roughly twice the counts.
+        base = IntegratedCompass().measure_heading(77.0)
+        assert abs(m.x_count) == pytest.approx(2 * abs(base.x_count), rel=0.05)
+
+    def test_update_rate(self, compass):
+        assert compass.update_rate_hz() == pytest.approx(444.4, rel=0.01)
+
+    def test_count_full_scale(self, compass):
+        assert compass.count_full_scale() == 4194
+
+
+class TestWatchAndDisplay:
+    def test_display_direction_after_measurement(self, compass):
+        compass.select_display(DisplayMode.DIRECTION)
+        compass.measure_heading(90.0)
+        frame = compass.read_display()
+        assert frame.text.startswith("E")
+
+    def test_display_time_mode(self, compass):
+        compass.set_time(15, 42)
+        compass.select_display(DisplayMode.TIME)
+        assert compass.read_display().text == "1542"
+        compass.select_display(DisplayMode.DIRECTION)

@@ -1,0 +1,140 @@
+"""Tests for the Figure 8 CORDIC datapath — the paper's headline digital claim."""
+
+import math
+
+import pytest
+
+from repro.digital.cordic import CordicArctan, greedy_arctan_float
+from repro.errors import ConfigurationError, ProtocolError
+
+
+@pytest.fixture(scope="module")
+def cordic():
+    return CordicArctan()
+
+
+class TestFirstQuadrant:
+    def test_45_degrees_exact(self, cordic):
+        result = cordic.arctan_first_quadrant(1000, 1000)
+        assert result.angle_deg == pytest.approx(45.0, abs=0.5)
+
+    def test_zero_angle(self, cordic):
+        result = cordic.arctan_first_quadrant(0, 1000)
+        assert result.angle_deg == pytest.approx(0.0, abs=0.5)
+
+    def test_90_degrees(self, cordic):
+        result = cordic.arctan_first_quadrant(1000, 0)
+        assert result.angle_deg == pytest.approx(90.0, abs=1.0)
+
+    def test_exactly_8_cycles(self, cordic):
+        # §4: "It used only 8 cycles to calculate the direction".
+        result = cordic.arctan_first_quadrant(700, 1200)
+        assert result.cycles == 8
+
+    def test_negative_inputs_rejected(self, cordic):
+        with pytest.raises(ConfigurationError):
+            cordic.arctan_first_quadrant(-1, 10)
+
+    def test_zero_zero_rejected(self, cordic):
+        with pytest.raises(ProtocolError, match="no field"):
+            cordic.arctan_first_quadrant(0, 0)
+
+    def test_steps_recorded_on_request(self, cordic):
+        result = cordic.arctan_first_quadrant(500, 866, record_steps=True)
+        assert len(result.steps) == 8
+        shifts = [s.shift for s in result.steps]
+        assert shifts == [1, 2, 4, 8, 16, 32, 64, 128]
+        # Angle accumulator is monotone non-decreasing.
+        angles = [s.angle_fixed for s in result.steps]
+        assert all(a <= b for a, b in zip(angles, angles[1:]))
+
+    def test_y_register_stays_non_negative(self, cordic):
+        # The greedy condition only rotates when it keeps y >= 0.
+        result = cordic.arctan_first_quadrant(999, 1234, record_steps=True)
+        assert all(s.y_reg >= 0 for s in result.steps)
+
+
+class TestAccuracyClaim:
+    def test_one_degree_accuracy_at_8_iterations(self, cordic):
+        # The central claim of §4 (Abstract: "accuracy of one degree").
+        assert cordic.worst_case_error_deg(magnitude=2000, step_deg=0.5) < 1.0
+
+    def test_small_counter_values_degrade_gracefully(self, cordic):
+        # With tiny inputs the ·128 scaling still gives sub-degree results.
+        err = cordic.worst_case_error_deg(magnitude=100, step_deg=1.0)
+        assert err < 1.5
+
+    def test_more_iterations_improve_accuracy(self):
+        few = CordicArctan(iterations=4).worst_case_error_deg(2000, 2.0)
+        many = CordicArctan(iterations=12).worst_case_error_deg(2000, 2.0)
+        assert many < few / 4.0
+
+    def test_input_scaling_matters(self):
+        # Dropping the ·128 pre-scale starves the truncating divisions —
+        # the design reason for Figure 8's "y*128".
+        unscaled = CordicArctan(input_scale_bits=0)
+        scaled = CordicArctan(input_scale_bits=7)
+        # Small inputs show the starvation clearly.
+        err_unscaled = unscaled.worst_case_error_deg(magnitude=50, step_deg=2.0)
+        err_scaled = scaled.worst_case_error_deg(magnitude=50, step_deg=2.0)
+        assert err_scaled < err_unscaled
+
+    def test_magnitude_invariance(self, cordic):
+        # §4: insensitive to the field magnitude — only the ratio matters.
+        a = cordic.arctan_first_quadrant(300, 400).angle_deg
+        b = cordic.arctan_first_quadrant(1200, 1600).angle_deg
+        assert a == pytest.approx(b, abs=0.3)
+
+
+class TestFullCircle:
+    @pytest.mark.parametrize(
+        "angle", [0.0, 30.0, 45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0, 359.0]
+    )
+    def test_quadrant_folding(self, cordic, angle):
+        rad = math.radians(angle)
+        x = int(round(2000 * math.cos(rad)))
+        y = int(round(2000 * math.sin(rad)))
+        got = cordic.arctan_degrees(y, x)
+        err = abs((got - angle + 180.0) % 360.0 - 180.0)
+        assert err < 1.0
+
+    def test_heading_convention(self, cordic):
+        # x_count ∝ cos(heading), y_count ∝ −sin(heading).
+        heading = 70.0
+        rad = math.radians(heading)
+        x_count = int(round(1500 * math.cos(rad)))
+        y_count = int(round(-1500 * math.sin(rad)))
+        got = cordic.heading_degrees(x_count, y_count)
+        assert got == pytest.approx(heading, abs=1.0)
+
+    def test_result_in_compass_range(self, cordic):
+        for x, y in ((10, 10), (-10, 10), (-10, -10), (10, -10)):
+            angle = cordic.arctan_degrees(y, x)
+            assert 0.0 <= angle < 360.0
+
+
+class TestRegisterSafety:
+    def test_overflow_detected(self):
+        narrow = CordicArctan(register_width=16)
+        with pytest.raises(ProtocolError, match="overflow"):
+            narrow.arctan_first_quadrant(4000, 4000)
+
+    def test_wide_registers_accept_counter_range(self):
+        # A full-scale 8-period count (±4194) must fit the default width.
+        cordic = CordicArctan()
+        cordic.arctan_first_quadrant(4194, 4194)  # must not raise
+
+
+class TestFloatReference:
+    def test_float_version_tracks_integer_version(self):
+        cordic = CordicArctan()
+        for y, x in ((100, 400), (250, 250), (999, 1)):
+            integer = cordic.arctan_first_quadrant(y, x).angle_deg
+            floating = greedy_arctan_float(float(y), float(x), 8)
+            assert integer == pytest.approx(floating, abs=0.5)
+
+    def test_float_version_validates(self):
+        with pytest.raises(ProtocolError):
+            greedy_arctan_float(0.0, 0.0, 8)
+        with pytest.raises(ConfigurationError):
+            greedy_arctan_float(-1.0, 1.0, 8)

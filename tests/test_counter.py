@@ -1,0 +1,126 @@
+"""Tests for the 4.194304 MHz up-down counter (§4)."""
+
+import pytest
+
+from repro.analog.pulse_detector import DetectorOutput, LogicEdge
+from repro.digital.counter import CounterConfig, UpDownCounter
+from repro.errors import ConfigurationError
+from repro.units import COUNTER_CLOCK_HZ
+
+
+def detector(edges, initial=0, window=(0.0, 1e-3)):
+    return DetectorOutput(edges=tuple(edges), initial_value=initial, window=window)
+
+
+class TestConfig:
+    def test_paper_clock(self):
+        assert CounterConfig().clock_hz == COUNTER_CLOCK_HZ
+
+    def test_invalid_clock(self):
+        with pytest.raises(ConfigurationError):
+            CounterConfig(clock_hz=0.0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            CounterConfig(width_bits=2)
+
+
+class TestCounting:
+    def test_constant_high_counts_up(self):
+        counter = UpDownCounter()
+        result = counter.count_window(detector([], initial=1))
+        assert result.count == result.total_ticks
+        assert result.duty_cycle == 1.0
+
+    def test_constant_low_counts_down(self):
+        counter = UpDownCounter()
+        result = counter.count_window(detector([], initial=0))
+        assert result.count == -result.total_ticks
+
+    def test_half_duty_counts_to_zero(self):
+        counter = UpDownCounter()
+        result = counter.count_window(
+            detector([LogicEdge(0.5e-3, 1)], initial=0, window=(0.0, 1e-3))
+        )
+        assert abs(result.count) <= 1  # exact zero modulo tick alignment
+
+    def test_tick_count_in_window(self):
+        counter = UpDownCounter()
+        result = counter.count_window(detector([], initial=1, window=(0.0, 1e-3)))
+        assert result.total_ticks == pytest.approx(COUNTER_CLOCK_HZ * 1e-3, abs=1)
+
+    def test_count_proportional_to_duty(self):
+        counter = UpDownCounter()
+        # duty 0.75 window.
+        result = counter.count_window(
+            detector(
+                [LogicEdge(0.25e-3, 1)], initial=0, window=(0.0, 1e-3)
+            )
+        )
+        expected = counter.expected_count(0.75, 1e-3)
+        assert result.count == pytest.approx(expected, abs=2)
+
+    def test_edges_outside_window_set_initial_state(self):
+        counter = UpDownCounter()
+        result = counter.count_window(
+            detector(
+                [LogicEdge(-1e-6, 1), LogicEdge(2e-3, 0)],
+                initial=0,
+                window=(0.0, 1e-3),
+            )
+        )
+        assert result.count == result.total_ticks  # high the whole window
+
+    def test_empty_window_rejected(self):
+        counter = UpDownCounter()
+        with pytest.raises(ConfigurationError):
+            counter.count_window(detector([], window=(1.0, 1.0)))
+
+    def test_disabled_counter_refuses(self):
+        counter = UpDownCounter()
+        counter.disable()
+        with pytest.raises(ConfigurationError, match="powered down"):
+            counter.count_window(detector([], initial=1))
+
+
+class TestOverflow:
+    def test_strict_overflow_raises(self):
+        counter = UpDownCounter(CounterConfig(width_bits=8, strict_overflow=True))
+        with pytest.raises(ConfigurationError, match="overflow"):
+            counter.count_window(detector([], initial=1, window=(0.0, 1e-3)))
+
+    def test_wrapping_overflow(self):
+        config = CounterConfig(width_bits=8, strict_overflow=False)
+        counter = UpDownCounter(config)
+        result = counter.count_window(detector([], initial=1, window=(0.0, 1e-3)))
+        assert result.overflowed
+        assert -128 <= result.count <= 127
+
+
+class TestAnalyticHelpers:
+    def test_expected_count_sign(self):
+        counter = UpDownCounter()
+        assert counter.expected_count(0.6, 1e-3) > 0
+        assert counter.expected_count(0.4, 1e-3) < 0
+        assert counter.expected_count(0.5, 1e-3) == pytest.approx(0.0)
+
+    def test_expected_count_bounds(self):
+        counter = UpDownCounter()
+        with pytest.raises(ConfigurationError):
+            counter.expected_count(1.5, 1e-3)
+
+    def test_resolution_ticks_for_paper_window(self):
+        counter = UpDownCounter()
+        # 8 excitation periods = 1 ms → 4194 ticks.
+        ticks = counter.count_resolution_ticks(8 / 8000.0)
+        assert ticks == 4194
+
+    def test_counter_quantisation_vs_paper_accuracy(self):
+        # One count out of a full-scale 8-period window moves the heading
+        # by well under the paper's 1° budget.
+        import math
+
+        counter = UpDownCounter()
+        full_scale = counter.count_resolution_ticks(8 / 8000.0)
+        worst_step_deg = math.degrees(1.0 / full_scale)
+        assert worst_step_deg < 0.1

@@ -1,0 +1,80 @@
+"""Tests for the measured-datasheet generator."""
+
+import pytest
+
+from repro.core.datasheet import Datasheet, SpecLine, generate_datasheet
+
+
+@pytest.fixture(scope="module")
+def sheet():
+    return generate_datasheet(quick=True)
+
+
+class TestDatasheetContainer:
+    def test_add_and_lookup(self):
+        sheet = Datasheet()
+        sheet.add("s", "p", "1 V", "cond")
+        line = sheet.lookup("s", "p")
+        assert line.value == "1 V"
+        assert line.conditions == "cond"
+
+    def test_missing_lookup(self):
+        with pytest.raises(KeyError):
+            Datasheet().lookup("s", "p")
+
+    def test_render_structure(self):
+        sheet = Datasheet()
+        sheet.add("power", "current", "1 µA")
+        text = sheet.render()
+        assert "POWER" in text
+        assert "current" in text
+
+
+class TestGeneratedContent:
+    def test_all_sections_present(self, sheet):
+        assert set(sheet.sections) == {
+            "electrical characteristics",
+            "compass performance",
+            "timing",
+            "power",
+            "environmental",
+            "integration",
+        }
+
+    def test_accuracy_spec_meets_paper(self, sheet):
+        line = sheet.lookup("compass performance", "heading accuracy (max)")
+        assert float(line.value.split()[0]) < 1.0
+
+    def test_worldwide_range_spec(self, sheet):
+        line = sheet.lookup("compass performance", "accuracy over 25…65 µT")
+        assert float(line.value.split()[0]) < 1.0
+
+    def test_electrical_constants_from_paper(self, sheet):
+        assert sheet.lookup(
+            "electrical characteristics", "excitation current"
+        ).value == "12 mA pp"
+        assert sheet.lookup(
+            "electrical characteristics", "max sensor resistance"
+        ).value == "800 Ω"
+
+    def test_timing_consistency(self, sheet):
+        rate = float(sheet.lookup("timing", "max update rate").value.split()[0])
+        time_ms = float(sheet.lookup("timing", "measurement time").value.split()[0])
+        assert rate == pytest.approx(1000.0 / time_ms, rel=0.02)
+
+    def test_power_spec_battery_class(self, sheet):
+        current = float(
+            sheet.lookup("power", "average current @ 1 Hz updates").value.split()[0]
+        )
+        assert current < 200.0  # µA
+
+    def test_environmental_within_budget(self, sheet):
+        for temp in ("-20", "+60"):
+            line = sheet.lookup("environmental", f"heading error at {temp} °C")
+            assert float(line.value.split()[0]) < 1.0
+
+    def test_render_contains_every_parameter(self, sheet):
+        text = sheet.render()
+        for lines in sheet.sections.values():
+            for line in lines:
+                assert line.parameter in text

@@ -1,0 +1,117 @@
+"""Tests for the dead-reckoning navigation layer."""
+
+import math
+
+import pytest
+
+from repro.core.compass import IntegratedCompass
+from repro.errors import ConfigurationError
+from repro.nav.dead_reckoning import (
+    ORIGIN,
+    DeadReckoner,
+    Leg,
+    Position,
+    follow_route,
+    route_positions,
+    worst_case_drift,
+)
+
+
+class TestPosition:
+    def test_moved_north(self):
+        p = ORIGIN.moved(0.0, 100.0)
+        assert p.north == pytest.approx(100.0)
+        assert p.east == pytest.approx(0.0, abs=1e-9)
+
+    def test_moved_east(self):
+        p = ORIGIN.moved(90.0, 50.0)
+        assert p.east == pytest.approx(50.0)
+
+    def test_distance_symmetric(self):
+        a, b = Position(3.0, 4.0), ORIGIN
+        assert a.distance_to(b) == b.distance_to(a) == pytest.approx(5.0)
+
+    def test_bearing_to(self):
+        assert ORIGIN.bearing_to(Position(1.0, 1.0)) == pytest.approx(45.0)
+        assert ORIGIN.bearing_to(Position(-1.0, 0.0)) == pytest.approx(180.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ORIGIN.moved(0.0, -1.0)
+
+
+class TestLeg:
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Leg(0.0, 0.0)
+
+
+class TestDeadReckoner:
+    def test_square_route_closes(self):
+        reckoner = DeadReckoner()
+        for bearing in (0.0, 90.0, 180.0, 270.0):
+            reckoner.advance(bearing, 100.0)
+        assert reckoner.closure_error(ORIGIN) == pytest.approx(0.0, abs=1e-9)
+        assert reckoner.total_distance() == pytest.approx(400.0)
+
+    def test_declination_correction(self):
+        # 10° east declination: walking magnetic north drifts 10° east of
+        # geographic north — and the reckoner accounts for it.
+        reckoner = DeadReckoner(declination_deg=10.0)
+        reckoner.advance(0.0, 100.0)
+        assert reckoner.position.bearing_to(ORIGIN) == pytest.approx(190.0)
+
+    def test_track_recorded(self):
+        reckoner = DeadReckoner()
+        reckoner.advance(0.0, 10.0)
+        reckoner.advance(90.0, 10.0)
+        assert len(reckoner.track) == 3
+
+
+class TestRoutePositions:
+    def test_waypoints(self):
+        legs = [Leg(0.0, 100.0), Leg(90.0, 100.0)]
+        positions = route_positions(legs)
+        assert positions[-1].north == pytest.approx(100.0)
+        assert positions[-1].east == pytest.approx(100.0)
+
+
+class TestFollowRoute:
+    def test_compass_guided_route_lands_close(self):
+        compass = IntegratedCompass()
+        legs = [
+            Leg(30.0, 500.0),
+            Leg(140.0, 300.0),
+            Leg(255.0, 400.0),
+        ]
+        truth = route_positions(legs)[-1]
+        reckoner, errors = follow_route(legs, compass)
+        # Each heading within the 1° budget...
+        assert all(e < 1.0 for e in errors)
+        # ...and the 1.2 km walk lands within the worst-case drift bound.
+        drift = reckoner.closure_error(truth)
+        assert drift < worst_case_drift(1200.0, 1.0)
+
+    def test_declination_corrected_route(self):
+        compass = IntegratedCompass()
+        legs = [Leg(0.0, 200.0)]
+        reckoner, _ = follow_route(legs, compass, declination_deg=-15.0)
+        truth = route_positions(legs)[-1]
+        assert reckoner.closure_error(truth) < worst_case_drift(200.0, 1.0)
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ConfigurationError):
+            follow_route([], IntegratedCompass())
+
+
+class TestDriftBound:
+    def test_one_degree_per_kilometre(self):
+        # The headline navigation number: 1° ≈ 17.5 m/km.
+        assert worst_case_drift(1000.0, 1.0) == pytest.approx(17.45, rel=0.01)
+
+    def test_zero_error_zero_drift(self):
+        assert worst_case_drift(1000.0, 0.0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            worst_case_drift(-1.0, 1.0)

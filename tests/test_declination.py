@@ -1,0 +1,95 @@
+"""Tests for declination conversion and the lookup table."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nav.declination import (
+    DeclinationTable,
+    geographic_to_magnetic,
+    magnetic_to_geographic,
+)
+from repro.physics.earth_field import DipoleEarthField
+
+
+class TestConversions:
+    def test_east_declination_adds(self):
+        assert magnetic_to_geographic(100.0, 10.0) == pytest.approx(110.0)
+
+    def test_west_declination_subtracts(self):
+        assert magnetic_to_geographic(100.0, -10.0) == pytest.approx(90.0)
+
+    def test_round_trip(self):
+        for heading in (0.0, 123.4, 359.0):
+            for declination in (-25.0, 0.0, 17.6):
+                geographic = magnetic_to_geographic(heading, declination)
+                back = geographic_to_magnetic(geographic, declination)
+                assert back == pytest.approx(heading % 360.0, abs=1e-9)
+
+    def test_wraps_into_compass_range(self):
+        assert magnetic_to_geographic(355.0, 10.0) == pytest.approx(5.0)
+        assert geographic_to_magnetic(5.0, 10.0) == pytest.approx(355.0)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return DeclinationTable()
+
+
+class TestDeclinationTable:
+    def test_rom_size_is_watch_scale(self, table):
+        # The table must be small enough for a 1997 watch chip's ROM.
+        assert table.entries < 500
+
+    def test_exact_on_grid_points(self, table):
+        model = DipoleEarthField()
+        for lat, lon in ((0.0, 0.0), (50.0, 15.0), (-30.0, -90.0)):
+            assert table.lookup(lat, lon) == pytest.approx(
+                model.field_at(lat, lon).declination_deg, abs=1e-9
+            )
+
+    def test_interpolation_error_bounded(self, table):
+        # 10°×15° grid: within ~1.5° of the model everywhere mid-latitude.
+        assert table.worst_error_deg(n_samples=300) < 1.5
+
+    def test_longitude_wrap(self, table):
+        assert table.lookup(20.0, 179.9) == pytest.approx(
+            table.lookup(20.0, -179.9), abs=1.0
+        )
+
+    def test_latitude_clamp(self, table):
+        # Beyond the table limit the edge row is used (documented caveat).
+        edge = table.lookup(60.0, 10.0)
+        beyond = table.lookup(75.0, 10.0)
+        assert beyond == pytest.approx(edge)
+
+    def test_invalid_latitude(self, table):
+        with pytest.raises(ConfigurationError):
+            table.lookup(91.0, 0.0)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            DeclinationTable(lat_step_deg=0.0)
+        with pytest.raises(ConfigurationError):
+            DeclinationTable(lat_limit_deg=90.0)
+
+
+class TestNavigationIntegration:
+    def test_compass_plus_table_gives_true_heading(self):
+        from repro.core.compass import IntegratedCompass
+
+        model = DipoleEarthField()
+        table = DeclinationTable(model=model)
+        lat, lon = 52.22, 6.89  # Enschede
+        field = model.field_at(lat, lon)
+        compass = IntegratedCompass()
+
+        true_heading = 200.0
+        # The field's declination rotates what the compass reads.
+        magnetic = (true_heading - field.declination_deg) % 360.0
+        measurement = compass.measure_in_field(field, magnetic)
+        recovered = magnetic_to_geographic(
+            measurement.heading_deg, table.lookup(lat, lon)
+        )
+        # Within compass accuracy + table interpolation error.
+        error = abs((recovered - true_heading + 180.0) % 360.0 - 180.0)
+        assert error < 2.0

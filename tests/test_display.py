@@ -1,0 +1,103 @@
+"""Tests for the LCD display driver (§4)."""
+
+import pytest
+
+from repro.digital.display import (
+    DisplayDriver,
+    DisplayMode,
+    decode_glyph,
+    encode_glyph,
+    nearest_cardinal,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGlyphs:
+    def test_all_digits_encodable(self):
+        for digit in "0123456789":
+            assert 0 < encode_glyph(digit) < 2**7
+
+    def test_digits_distinct(self):
+        patterns = [encode_glyph(d) for d in "0123456789"]
+        assert len(set(patterns)) == 10
+
+    def test_unknown_glyph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_glyph("Z")
+
+    def test_decode_inverts_encode(self):
+        for char in "0123489NEW- ":
+            assert decode_glyph(encode_glyph(char)) == char
+
+    def test_eight_lights_all_segments(self):
+        assert encode_glyph("8") == 0b1111111
+
+
+class TestCardinals:
+    @pytest.mark.parametrize(
+        "heading, cardinal",
+        [(0.0, "N"), (44.9, "N"), (45.1, "E"), (90.0, "E"), (180.0, "S"),
+         (270.0, "W"), (315.1, "N"), (359.9, "N")],
+    )
+    def test_nearest_cardinal(self, heading, cardinal):
+        assert nearest_cardinal(heading) == cardinal
+
+
+class TestDirectionMode:
+    def test_render_direction(self):
+        frame = DisplayDriver().render_direction(123.4)
+        assert frame.text == "E123"
+        assert not frame.colon
+
+    def test_rounding_wraps_at_360(self):
+        frame = DisplayDriver().render_direction(359.7)
+        assert frame.text == "N000"
+
+    def test_negative_heading_wrapped(self):
+        frame = DisplayDriver().render_direction(-90.0)
+        assert frame.text == "W270"
+
+    def test_segments_match_text(self):
+        frame = DisplayDriver().render_direction(45.0)
+        assert frame.segments == tuple(encode_glyph(c) for c in frame.text)
+
+
+class TestTimeMode:
+    def test_render_time(self):
+        frame = DisplayDriver().render_time(12, 34)
+        assert frame.text == "1234"
+        assert frame.colon
+
+    def test_colon_blink_phase(self):
+        frame = DisplayDriver().render_time(12, 34, blink_phase=False)
+        assert not frame.colon
+
+    def test_invalid_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DisplayDriver().render_time(24, 0)
+        with pytest.raises(ConfigurationError):
+            DisplayDriver().render_time(12, 60)
+
+
+class TestModeSelection:
+    def test_defaults_to_direction(self):
+        driver = DisplayDriver()
+        frame = driver.render(heading_deg=90.0, hours=10, minutes=30)
+        assert frame.text == "E090"
+
+    def test_select_time_mode(self):
+        # §4: "The display driver selects either the direction or the time
+        # to display."
+        driver = DisplayDriver()
+        driver.select_mode(DisplayMode.TIME)
+        frame = driver.render(heading_deg=90.0, hours=10, minutes=30)
+        assert frame.text == "1030"
+
+    def test_toggle_mode_button(self):
+        driver = DisplayDriver()
+        assert driver.toggle_mode() is DisplayMode.TIME
+        assert driver.toggle_mode() is DisplayMode.DIRECTION
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DisplayDriver().select_mode("direction")

@@ -1,0 +1,97 @@
+"""Tests for the composed excitation source (§3.1 + multiplexing)."""
+
+import numpy as np
+import pytest
+
+from repro.analog.excitation import ExcitationSettings, ExcitationSource
+from repro.errors import ComplianceError, ConfigurationError
+from repro.simulation.engine import TimeGrid
+from repro.units import EXCITATION_CURRENT_PP
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid(4)
+
+
+class TestSettings:
+    def test_paper_defaults(self):
+        s = ExcitationSettings()
+        assert s.current_pp == pytest.approx(12e-3)
+        assert s.current_amplitude == pytest.approx(6e-3)
+
+    def test_invalid_current_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExcitationSettings(current_pp=0.0)
+
+
+class TestCurrentGeneration:
+    def test_12ma_pp_at_8khz(self, grid):
+        src = ExcitationSource()
+        current = src.current(grid, "x", 77.0)
+        assert current.peak_to_peak() == pytest.approx(EXCITATION_CURRENT_PP, rel=1e-2)
+        assert current.fundamental_frequency() == pytest.approx(8000.0, rel=1e-2)
+
+    def test_triangular_shape(self, grid):
+        current = ExcitationSource().current(grid, "x", 77.0)
+        f0 = current.fundamental_frequency()
+        # Triangle: h2 ≈ 0, h3/h1 = 1/9.
+        h1 = current.harmonic_amplitude(f0, 1)
+        assert current.harmonic_amplitude(f0, 2) / h1 < 0.01
+        assert current.harmonic_amplitude(f0, 3) / h1 == pytest.approx(1 / 9, rel=0.05)
+
+    def test_unknown_channel_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            ExcitationSource().current(grid, "z", 77.0)
+
+    def test_compliance_propagates(self, grid):
+        with pytest.raises(ComplianceError):
+            ExcitationSource().current(grid, "x", 2000.0)
+
+    def test_measured_offset_near_zero(self, grid):
+        src = ExcitationSource()
+        assert abs(src.measured_offset(grid, "x", 77.0)) < 1e-4
+
+
+class TestMultiplexing:
+    def test_select_channel_disables_other(self, grid):
+        src = ExcitationSource()
+        src.select_channel("x")
+        i_x, i_y = src.both_currents(grid, 77.0)
+        assert np.max(np.abs(i_x.v)) > 1e-3
+        assert np.all(i_y.v == 0.0)
+
+    def test_switching_channels(self, grid):
+        src = ExcitationSource()
+        src.select_channel("y")
+        i_x, i_y = src.both_currents(grid, 77.0)
+        assert np.all(i_x.v == 0.0)
+        assert np.max(np.abs(i_y.v)) > 1e-3
+
+    def test_single_oscillator_shared(self):
+        # §2: "only one oscillator is needed" — both converters are fed by
+        # the same oscillator object.
+        src = ExcitationSource()
+        assert src.oscillator is src.oscillator
+        assert len(src.converters) == 2
+
+    def test_select_invalid_channel(self):
+        with pytest.raises(ConfigurationError):
+            ExcitationSource().select_channel("q")
+
+
+class TestPowerGating:
+    def test_disable_kills_output(self, grid):
+        src = ExcitationSource()
+        src.disable()
+        current = src.current(grid, "x", 77.0)
+        assert np.all(current.v == 0.0)
+        assert not src.enabled
+
+    def test_reenable_restores(self, grid):
+        src = ExcitationSource()
+        src.disable()
+        src.enable()
+        src.select_channel("x")
+        current = src.current(grid, "x", 77.0)
+        assert np.max(current.v) > 1e-3

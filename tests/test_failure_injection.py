@@ -1,0 +1,126 @@
+"""Failure-injection tests: the system must fail loudly, not wrongly.
+
+Each test breaks one physical assumption and checks the library raises a
+typed error (or degrades in the documented way) instead of returning a
+silently wrong heading.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analog.frontend import AnalogFrontEnd, FrontEndConfig
+from repro.analog.mux import MeasurementSchedule
+from repro.analog.pulse_detector import DetectorParameters
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.digital.counter import CounterConfig
+from repro.errors import (
+    ComplianceError,
+    ConfigurationError,
+    ProtocolError,
+)
+from repro.sensors.fluxgate import FluxgateSensor
+from repro.sensors.parameters import IDEAL_TARGET, MICROMACHINED_KAW95
+from repro.simulation.engine import TimeGrid
+
+
+class TestSensorFailures:
+    def test_unsaturable_sensor_rejected_at_build(self):
+        with pytest.raises(ConfigurationError):
+            IntegratedCompass(CompassConfig(sensor=MICROMACHINED_KAW95))
+
+    def test_open_sensor_coil(self):
+        # An open excitation coil looks like infinite resistance: the
+        # V-I converter's compliance check trips.
+        broken = dataclasses.replace(IDEAL_TARGET, series_resistance=1e6)
+        compass = IntegratedCompass(CompassConfig(sensor=broken))
+        with pytest.raises(ComplianceError):
+            compass.measure_heading(0.0)
+
+    def test_dead_pickup_coil(self):
+        # A shorted pickup (zero turns ≈ no signal) produces no pulses.
+        front_end = AnalogFrontEnd()
+        sensor = FluxgateSensor(IDEAL_TARGET)
+        grid = TimeGrid(4)
+
+        class DeadPickupSensor:
+            params = IDEAL_TARGET
+
+            def simulate(self, current, h_external=0.0):
+                waves = sensor.simulate(current, h_external)
+                silent = dataclasses.replace(
+                    waves,
+                    pickup_voltage=waves.pickup_voltage.scaled(0.0),
+                )
+                return silent
+
+        with pytest.raises(ConfigurationError, match="no pulses"):
+            front_end.measure_channel(DeadPickupSensor(), "x", 0.0, grid)
+
+
+class TestDetectorFailures:
+    def test_threshold_above_pulses(self):
+        config = CompassConfig(
+            front_end=dataclasses.replace(
+                CompassConfig().front_end,
+                detector=DetectorParameters(threshold=5.0),
+            )
+        )
+        compass = IntegratedCompass(config)
+        with pytest.raises(ConfigurationError, match="no pulses"):
+            compass.measure_heading(0.0)
+
+
+class TestCounterFailures:
+    def test_narrow_counter_overflows_loudly(self):
+        config = CompassConfig(
+            counter=CounterConfig(width_bits=8, strict_overflow=True),
+            schedule=MeasurementSchedule(count_periods=8),
+        )
+        compass = IntegratedCompass(config)
+        with pytest.raises(ConfigurationError, match="overflow"):
+            compass.measure_heading(0.5)
+
+    def test_wrapping_counter_never_silently_wrong(self):
+        config = CompassConfig(
+            counter=CounterConfig(width_bits=8, strict_overflow=False),
+        )
+        compass = IntegratedCompass(config)
+        # Either the wrapped counts land below the weak-field trust
+        # threshold (ProtocolError), or the raw result carries the
+        # overflow flag for the control logic — never a quiet bad heading.
+        try:
+            compass.measure_heading(0.5)
+        except ProtocolError:
+            return
+        assert compass.back_end.last_result.x_result.overflowed
+
+
+class TestFieldFailures:
+    def test_zero_field_raises_protocol_error(self):
+        compass = IntegratedCompass()
+        with pytest.raises((ProtocolError, ConfigurationError)):
+            compass.measure_components(0.0, 0.0)
+
+    def test_field_beyond_measurable_range(self):
+        # 300 A/m (≈ 3.8 G, a nearby magnet) exceeds Ha: the pulse pair
+        # degenerates.  The system must not return a plausible heading
+        # silently — it either errors or the counts rail to full scale.
+        compass = IntegratedCompass()
+        try:
+            m = compass.measure_components(300.0, 0.0)
+        except (ConfigurationError, ProtocolError):
+            return
+        full_scale = compass.count_full_scale()
+        assert abs(m.x_count) > 0.9 * full_scale
+
+
+class TestConfigurationSanity:
+    def test_zero_cordic_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IntegratedCompass(CompassConfig(cordic_iterations=0))
+
+    def test_degenerate_sampling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IntegratedCompass(CompassConfig(samples_per_period=4)).measure_heading(0.0)

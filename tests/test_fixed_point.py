@@ -1,0 +1,90 @@
+"""Tests for the fixed-point register helpers."""
+
+import pytest
+
+from repro.digital.fixed_point import (
+    check_bits,
+    fits_signed,
+    from_fixed,
+    require_fits,
+    saturate_signed,
+    signed_max,
+    signed_min,
+    to_fixed,
+    truncating_shift_right,
+    wrap_signed,
+)
+from repro.errors import ConfigurationError, ProtocolError
+
+
+class TestRanges:
+    def test_signed_bounds_16_bit(self):
+        assert signed_min(16) == -32768
+        assert signed_max(16) == 32767
+
+    def test_fits_signed(self):
+        assert fits_signed(32767, 16)
+        assert not fits_signed(32768, 16)
+        assert fits_signed(-32768, 16)
+        assert not fits_signed(-32769, 16)
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            check_bits(0)
+        with pytest.raises(ConfigurationError):
+            check_bits(65)
+
+
+class TestWrapAndSaturate:
+    def test_wrap_positive_overflow(self):
+        assert wrap_signed(32768, 16) == -32768
+
+    def test_wrap_negative_overflow(self):
+        assert wrap_signed(-32769, 16) == 32767
+
+    def test_wrap_identity_in_range(self):
+        for v in (-32768, -1, 0, 1, 32767):
+            assert wrap_signed(v, 16) == v
+
+    def test_saturate(self):
+        assert saturate_signed(100000, 16) == 32767
+        assert saturate_signed(-100000, 16) == -32768
+        assert saturate_signed(5, 16) == 5
+
+    def test_require_fits_names_register(self):
+        with pytest.raises(ProtocolError, match="x_reg"):
+            require_fits(1 << 30, 16, "x_reg")
+        assert require_fits(5, 16, "x_reg") == 5
+
+
+class TestTruncatingShift:
+    def test_positive_matches_floor(self):
+        assert truncating_shift_right(100, 3) == 12
+
+    def test_negative_truncates_toward_zero(self):
+        # VHDL integer division: -100 / 8 = -12, not floor's -13.
+        assert truncating_shift_right(-100, 3) == -12
+        assert (-100) >> 3 == -13  # the trap this helper avoids
+
+    def test_zero_shift(self):
+        assert truncating_shift_right(-7, 0) == -7
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            truncating_shift_right(1, -1)
+
+
+class TestFixedConversion:
+    def test_round_trip(self):
+        assert from_fixed(to_fixed(0.4375, 8), 8) == pytest.approx(0.4375)
+
+    def test_rounds_to_nearest(self):
+        assert to_fixed(0.00196, 8) == 1  # 0.00196·256 = 0.502 → 1
+
+    def test_negative_values(self):
+        assert to_fixed(-1.5, 4) == -24
+        assert from_fixed(-24, 4) == -1.5
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(ConfigurationError):
+            to_fixed(1.0, -1)

@@ -1,0 +1,119 @@
+"""Tests for the 2D floorplanner."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceError
+from repro.soc.floorplan import (
+    PAIRS_PER_ROW,
+    ROWS_PER_QUARTER,
+    Floorplan,
+    Rectangle,
+    plan_compass,
+)
+from repro.soc.netlist import CompassNetlist
+from repro.soc.sea_of_gates import Block
+
+
+class TestRectangle:
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            Rectangle("b", 0, row_start=-1, row_count=5)
+        with pytest.raises(ConfigurationError):
+            Rectangle("b", 0, row_start=95, row_count=10)
+
+    def test_overlap_same_quarter(self):
+        a = Rectangle("a", 0, 0, 10)
+        b = Rectangle("b", 0, 5, 10)
+        c = Rectangle("c", 0, 10, 5)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # adjacent, not overlapping
+
+    def test_no_overlap_across_quarters(self):
+        a = Rectangle("a", 0, 0, 10)
+        b = Rectangle("b", 1, 0, 10)
+        assert not a.overlaps(b)
+
+    def test_centre_positions(self):
+        top_left = Rectangle("a", 0, 0, ROWS_PER_QUARTER)
+        x, y = top_left.centre()
+        assert (x, y) == (0.5, 0.5)
+        bottom_right = Rectangle("b", 3, 0, ROWS_PER_QUARTER)
+        assert bottom_right.centre() == (1.5, 1.5)
+
+
+class TestFloorplan:
+    def test_sequential_row_allocation(self):
+        plan = Floorplan()
+        r1 = plan.place_block(Block("a", 2 * PAIRS_PER_ROW, "digital"), 0)
+        r2 = plan.place_block(Block("b", PAIRS_PER_ROW, "digital"), 0)
+        assert r1.row_start == 0
+        assert r2.row_start == 2
+        plan.validate()
+
+    def test_quarter_overflow(self):
+        plan = Floorplan()
+        plan.place_block(
+            Block("big", ROWS_PER_QUARTER * PAIRS_PER_ROW, "digital"), 0
+        )
+        with pytest.raises(ResourceError, match="out of rows"):
+            plan.place_block(Block("more", 1, "digital"), 0)
+
+    def test_find(self):
+        plan = Floorplan()
+        plan.place_block(Block("a", 100, "digital"), 2)
+        assert plan.find("a").quarter == 2
+        with pytest.raises(ConfigurationError):
+            plan.find("ghost")
+
+    def test_separation_metric(self):
+        plan = Floorplan()
+        plan.place_block(Block("a", ROWS_PER_QUARTER * PAIRS_PER_ROW, "digital"), 0)
+        plan.place_block(Block("b", ROWS_PER_QUARTER * PAIRS_PER_ROW, "analog"), 3)
+        assert plan.separation("a", "b") == pytest.approx(math.sqrt(2.0))
+
+
+class TestCompassPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return plan_compass()
+
+    def test_validates(self, plan):
+        plan.validate()
+
+    def test_every_block_placed(self, plan):
+        netlist = CompassNetlist()
+        placed = {r.block_name.split(".")[0] for r in plan.rectangles}
+        expected = {b.name for b in netlist.digital_blocks}
+        expected |= {b.name for b in netlist.analog_blocks}
+        assert placed == expected
+
+    def test_area_conserved(self, plan):
+        # Rows used × pairs-per-row covers every mapped pair (rounded up
+        # per rectangle).
+        netlist = CompassNetlist()
+        total_pairs = netlist.digital_pairs() + netlist.analog_pairs()
+        placed_capacity = sum(
+            r.row_count * PAIRS_PER_ROW for r in plan.rectangles
+        )
+        assert placed_capacity >= total_pairs
+        assert placed_capacity < total_pairs + len(plan.rectangles) * PAIRS_PER_ROW
+
+    def test_analog_in_quarter_three(self, plan):
+        assert plan.find("analog_front_end").quarter == 3
+
+    def test_noise_isolation(self, plan):
+        # The analogue front-end sits diagonally opposite the pad/clock
+        # block: more than one quarter-width away.
+        assert plan.separation("analog_front_end", "pads_clocks") > 1.0
+
+    def test_render_shows_quarters_and_legend(self, plan):
+        art = plan.render()
+        assert art.count("+------") >= 3  # three horizontal rules
+        assert "legend:" in art
+        assert "analog_front_end" in art
+
+    def test_render_parameter_validation(self, plan):
+        with pytest.raises(ConfigurationError):
+            plan.render(rows_per_char=0)

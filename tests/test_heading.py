@@ -1,0 +1,92 @@
+"""Tests for heading types and circular math."""
+
+import pytest
+
+from repro.core.heading import (
+    COMPASS_POINTS_16,
+    HeadingMeasurement,
+    compass_point,
+    headings_evenly_spaced,
+    mean_heading_deg,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCompassPoint:
+    @pytest.mark.parametrize(
+        "heading, expected",
+        [(0.0, "N"), (22.5, "NNE"), (45.0, "NE"), (90.0, "E"), (180.0, "S"),
+         (270.0, "W"), (340.0, "NNW"), (355.0, "N")],
+    )
+    def test_sixteen_points(self, heading, expected):
+        assert compass_point(heading) == expected
+
+    def test_four_points(self):
+        assert compass_point(44.0, points=4) == "N"
+        assert compass_point(46.0, points=4) == "E"
+
+    def test_eight_points(self):
+        assert compass_point(45.0, points=8) == "NE"
+        assert compass_point(292.5, points=8) == "NW"
+
+    def test_invalid_point_count(self):
+        with pytest.raises(ConfigurationError):
+            compass_point(0.0, points=12)
+
+    def test_all_points_reachable(self):
+        seen = {compass_point(h) for h in range(0, 360, 1)}
+        assert seen == set(COMPASS_POINTS_16)
+
+
+class TestHeadingMeasurement:
+    def _measurement(self, heading):
+        return HeadingMeasurement(
+            heading_deg=heading,
+            x_count=100,
+            y_count=-100,
+            duty_x=0.6,
+            duty_y=0.4,
+            measurement_time_s=2.25e-3,
+            cordic_cycles=8,
+        )
+
+    def test_cardinal(self):
+        assert self._measurement(44.0).cardinal == "NE"
+
+    def test_error_against_wraps(self):
+        m = self._measurement(1.0)
+        assert m.error_against(359.0) == pytest.approx(2.0)
+
+    def test_error_is_absolute(self):
+        m = self._measurement(10.0)
+        assert m.error_against(15.0) == pytest.approx(5.0)
+
+
+class TestSweepHelpers:
+    def test_evenly_spaced(self):
+        headings = headings_evenly_spaced(4)
+        assert headings == (0.0, 90.0, 180.0, 270.0)
+
+    def test_start_offset(self):
+        headings = headings_evenly_spaced(4, start_deg=10.0)
+        assert headings == (10.0, 100.0, 190.0, 280.0)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            headings_evenly_spaced(0)
+
+
+class TestCircularMean:
+    def test_wraps_correctly(self):
+        assert mean_heading_deg((359.0, 1.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_simple_average(self):
+        assert mean_heading_deg((10.0, 20.0)) == pytest.approx(15.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_heading_deg(())
+
+    def test_opposed_headings_undefined(self):
+        with pytest.raises(ConfigurationError):
+            mean_heading_deg((0.0, 180.0))

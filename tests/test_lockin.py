@@ -1,0 +1,116 @@
+"""Tests for the lock-in demodulator and synchronous field readout."""
+
+import numpy as np
+import pytest
+
+from repro.analog.excitation import ExcitationSource
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sensors.fluxgate import FluxgateSensor
+from repro.sensors.lockin import (
+    LockInDemodulator,
+    SynchronousFieldReadout,
+)
+from repro.sensors.parameters import IDEAL_TARGET
+from repro.simulation.engine import TimeGrid
+from repro.simulation.signals import Trace
+from repro.units import EXCITATION_FREQUENCY_HZ
+
+
+def tone(freq, amplitude=1.0, phase=0.0, fs=1e6, cycles_of_1khz=10):
+    t = np.arange(int(fs * cycles_of_1khz / 1000.0)) / fs
+    return Trace(t, amplitude * np.cos(2 * np.pi * freq * t + phase))
+
+
+class TestLockInBasics:
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            LockInDemodulator(0.0)
+        with pytest.raises(ConfigurationError):
+            LockInDemodulator(1000.0, harmonic=0)
+
+    def test_recovers_amplitude_at_harmonic(self):
+        lockin = LockInDemodulator(1000.0, harmonic=2)
+        result = lockin.demodulate(tone(2000.0, amplitude=0.5))
+        assert result.magnitude == pytest.approx(0.5, rel=1e-3)
+
+    def test_rejects_other_harmonics(self):
+        lockin = LockInDemodulator(1000.0, harmonic=2)
+        result = lockin.demodulate(tone(1000.0, amplitude=1.0))
+        assert result.magnitude < 1e-3
+        result3 = lockin.demodulate(tone(3000.0, amplitude=1.0))
+        assert result3.magnitude < 1e-3
+
+    def test_phase_split(self):
+        lockin = LockInDemodulator(1000.0, harmonic=2)
+        in_phase = lockin.demodulate(tone(2000.0, phase=0.0))
+        quadrature = lockin.demodulate(tone(2000.0, phase=-np.pi / 2))
+        assert abs(in_phase.in_phase) > 10 * abs(in_phase.quadrature)
+        assert abs(quadrature.quadrature) > 10 * abs(quadrature.in_phase)
+
+    def test_too_short_signal_rejected(self):
+        lockin = LockInDemodulator(10.0)  # period 0.1 s, signal 10 ms
+        with pytest.raises(ConfigurationError, match="shorter"):
+            lockin.demodulate(tone(2000.0))
+
+
+class TestPhaseCalibration:
+    def test_calibration_zeroes_quadrature(self):
+        lockin = LockInDemodulator(1000.0, harmonic=2)
+        reference = tone(2000.0, amplitude=0.3, phase=1.1)
+        lockin.calibrate_phase(reference)
+        result = lockin.demodulate(reference)
+        assert result.in_phase == pytest.approx(0.3, rel=1e-3)
+        assert abs(result.quadrature) < 1e-3
+
+    def test_calibration_without_signal_rejected(self):
+        lockin = LockInDemodulator(1000.0, harmonic=2)
+        with pytest.raises(ProtocolError, match="no component"):
+            lockin.calibrate_phase(tone(500.0, amplitude=0.0))
+
+
+class TestSynchronousFieldReadout:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        sensor = FluxgateSensor(IDEAL_TARGET)
+        current = ExcitationSource().current(
+            TimeGrid(8), "x", IDEAL_TARGET.series_resistance
+        )
+        readout = SynchronousFieldReadout(sensor, EXCITATION_FREQUENCY_HZ)
+        readout.calibrate(current, h_reference=20.0)
+        return readout, current
+
+    def test_measure_requires_calibration(self):
+        sensor = FluxgateSensor(IDEAL_TARGET)
+        readout = SynchronousFieldReadout(sensor, EXCITATION_FREQUENCY_HZ)
+        with pytest.raises(ProtocolError, match="calibrated"):
+            readout.measure(None, 0.0)
+
+    def test_recovers_positive_field(self, setup):
+        readout, current = setup
+        assert readout.measure(current, 15.0) == pytest.approx(15.0, rel=0.1)
+
+    def test_sign_from_phase_not_heuristics(self, setup):
+        # The lock-in's in-phase channel flips sign with the field — no
+        # external sign information needed.
+        readout, current = setup
+        assert readout.measure(current, -15.0) == pytest.approx(-15.0, rel=0.1)
+
+    def test_near_linear_response(self, setup):
+        readout, current = setup
+        estimates = [readout.measure(current, h) for h in (-20.0, -10.0, 10.0, 20.0)]
+        assert estimates[0] < estimates[1] < estimates[2] < estimates[3]
+        # Symmetric about zero.
+        assert estimates[0] == pytest.approx(-estimates[3], rel=0.05)
+
+    def test_zero_field_reads_near_zero(self, setup):
+        readout, current = setup
+        assert abs(readout.measure(current, 0.0)) < 1.0
+
+    def test_negative_calibration_field_rejected(self):
+        sensor = FluxgateSensor(IDEAL_TARGET)
+        current = ExcitationSource().current(
+            TimeGrid(4), "x", IDEAL_TARGET.series_resistance
+        )
+        readout = SynchronousFieldReadout(sensor, EXCITATION_FREQUENCY_HZ)
+        with pytest.raises(ConfigurationError):
+            readout.calibrate(current, h_reference=-5.0)

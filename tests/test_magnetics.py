@@ -1,0 +1,147 @@
+"""Tests for the core magnetisation models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.magnetics import (
+    CORE_MODELS,
+    CoreParameters,
+    JilesAthertonCore,
+    PiecewiseLinearCore,
+    TanhCore,
+    make_core,
+)
+
+PARAMS = CoreParameters(
+    saturation_flux_density=0.8, anisotropy_field=43.0, coercive_field=2.0
+)
+
+
+class TestCoreParameters:
+    @pytest.mark.parametrize("field", ["saturation_flux_density", "anisotropy_field"])
+    def test_positive_required(self, field):
+        kwargs = {
+            "saturation_flux_density": 0.8,
+            "anisotropy_field": 43.0,
+            field: 0.0,
+        }
+        with pytest.raises(ConfigurationError):
+            CoreParameters(**kwargs)
+
+    def test_negative_coercive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreParameters(0.8, 43.0, coercive_field=-1.0)
+
+
+class TestPiecewiseLinearCore:
+    def test_linear_below_hk(self):
+        core = PiecewiseLinearCore(PARAMS)
+        h = np.array([-20.0, 0.0, 20.0])
+        slope = PARAMS.saturation_flux_density / PARAMS.anisotropy_field
+        assert np.allclose(core.flux_density(h), h * slope)
+
+    def test_saturates_above_hk(self):
+        core = PiecewiseLinearCore(PARAMS)
+        assert core.flux_density(np.array([1000.0]))[0] == pytest.approx(0.8)
+        assert core.flux_density(np.array([-1000.0]))[0] == pytest.approx(-0.8)
+
+    def test_permeability_zero_in_saturation(self):
+        core = PiecewiseLinearCore(PARAMS)
+        mu = core.differential_permeability(np.array([0.0, 100.0, -100.0]))
+        assert mu[0] > 0.0
+        assert mu[1] == 0.0
+        assert mu[2] == 0.0
+
+    def test_not_hysteretic(self):
+        assert not PiecewiseLinearCore(PARAMS).is_hysteretic
+
+
+class TestTanhCore:
+    def test_odd_symmetry(self):
+        core = TanhCore(PARAMS)
+        h = np.linspace(-200, 200, 41)
+        b = core.flux_density(h)
+        assert np.allclose(b, -b[::-1])
+
+    def test_origin_slope_matches_piecewise(self):
+        tanh_core = TanhCore(PARAMS)
+        pw_core = PiecewiseLinearCore(PARAMS)
+        mu_tanh = tanh_core.differential_permeability(np.array([0.0]))[0]
+        mu_pw = pw_core.differential_permeability(np.array([0.0]))[0]
+        assert mu_tanh == pytest.approx(mu_pw)
+
+    def test_approaches_saturation(self):
+        core = TanhCore(PARAMS)
+        b = core.flux_density(np.array([10 * PARAMS.anisotropy_field]))
+        assert b[0] == pytest.approx(0.8, rel=1e-6)
+
+    def test_monotone(self):
+        core = TanhCore(PARAMS)
+        h = np.linspace(-300, 300, 101)
+        assert np.all(np.diff(core.flux_density(h)) > 0.0)
+
+    def test_permeability_peaks_at_zero_field(self):
+        core = TanhCore(PARAMS)
+        h = np.linspace(-100, 100, 201)
+        mu = core.differential_permeability(h)
+        assert np.argmax(mu) == 100
+
+
+class TestJilesAthertonCore:
+    def test_requires_coercive_field(self):
+        params = CoreParameters(0.8, 43.0, coercive_field=0.0)
+        with pytest.raises(ConfigurationError):
+            JilesAthertonCore(params)
+
+    def test_is_hysteretic(self):
+        assert JilesAthertonCore(PARAMS).is_hysteretic
+
+    def test_virgin_curve_starts_at_origin(self):
+        core = JilesAthertonCore(PARAMS)
+        assert core.step(0.0) == pytest.approx(0.0)
+
+    def test_loop_is_open_cycle_dependent(self):
+        # Drive a full field cycle; B at H=0 differs between the rising
+        # and falling branches — the definition of hysteresis.  Remanence
+        # on the falling branch is positive, on the rising branch negative.
+        core = JilesAthertonCore(PARAMS)
+        core.flux_density(np.linspace(0, 150, 300))     # up to +sat
+        core.flux_density(np.linspace(150, 0, 300))     # falling branch
+        b_falling = core.step(0.0)
+        core.flux_density(np.linspace(0, -150, 300))    # down to -sat
+        core.flux_density(np.linspace(-150, 0, 300))    # rising branch
+        b_rising = core.step(0.0)
+        assert b_falling > 0.0
+        assert b_rising < 0.0
+        assert b_falling - b_rising > 1e-4  # loop is open
+
+    def test_remanence_bounded_by_saturation(self):
+        core = JilesAthertonCore(PARAMS)
+        waveform = 150.0 * np.sin(np.linspace(0, 6 * np.pi, 2000))
+        b = core.flux_density(waveform)
+        assert np.max(np.abs(b)) <= PARAMS.saturation_flux_density + 1e-12
+
+    def test_reset_clears_history(self):
+        core = JilesAthertonCore(PARAMS)
+        core.flux_density(np.linspace(0, 150, 100))
+        core.reset()
+        assert core.step(0.0) == pytest.approx(0.0)
+
+
+class TestRegistry:
+    def test_all_models_constructible(self):
+        for name in CORE_MODELS:
+            core = make_core(name, PARAMS)
+            assert core.params is PARAMS
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_core("astrology", PARAMS)
+
+    def test_models_agree_deep_in_saturation(self):
+        h = np.array([20.0 * PARAMS.anisotropy_field])
+        values = []
+        for name in ("piecewise", "tanh"):
+            values.append(float(make_core(name, PARAMS).flux_density(h)[0]))
+        assert values[0] == pytest.approx(values[1], rel=1e-6)

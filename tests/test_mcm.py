@@ -1,0 +1,107 @@
+"""Tests for the MCM assembly model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceError
+from repro.soc.mcm import (
+    Die,
+    MCMAssembly,
+    SubstratePassive,
+    build_compass_mcm,
+    requires_substrate,
+)
+from repro.units import OSCILLATOR_RESISTANCE
+
+
+class TestComponents:
+    def test_die_requires_pads(self):
+        with pytest.raises(ConfigurationError):
+            Die("empty", pads=())
+
+    def test_duplicate_pads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Die("dup", pads=("a", "a"))
+
+    def test_passive_kinds(self):
+        with pytest.raises(ConfigurationError):
+            SubstratePassive("x", "inductor", 1.0)
+        with pytest.raises(ConfigurationError):
+            SubstratePassive("x", "resistor", -1.0)
+
+
+class TestAssemblyRules:
+    def test_duplicate_die_rejected(self):
+        mcm = MCMAssembly()
+        mcm.add_die(Die("a", pads=("p",)))
+        with pytest.raises(ConfigurationError):
+            mcm.add_die(Die("a", pads=("q",)))
+
+    def test_connect_validates_die_and_pad(self):
+        mcm = MCMAssembly()
+        mcm.add_die(Die("a", pads=("p",)))
+        mcm.add_net("n")
+        with pytest.raises(ConfigurationError, match="no die"):
+            mcm.connect("n", "b", "p")
+        with pytest.raises(ConfigurationError, match="no pad"):
+            mcm.connect("n", "a", "q")
+
+    def test_floating_net_fails_validation(self):
+        mcm = MCMAssembly()
+        mcm.add_die(Die("a", pads=("p", "q")))
+        mcm.add_net("n")
+        mcm.connect("n", "a", "p")
+        with pytest.raises(ResourceError, match="floating"):
+            mcm.validate()
+
+    def test_pad_on_two_nets_fails_validation(self):
+        mcm = MCMAssembly()
+        mcm.add_die(Die("a", pads=("p", "q", "r")))
+        for name in ("n1", "n2"):
+            mcm.add_net(name)
+        mcm.connect("n1", "a", "p")
+        mcm.connect("n1", "a", "q")
+        mcm.connect("n2", "a", "p")
+        mcm.connect("n2", "a", "r")
+        with pytest.raises(ResourceError, match="both"):
+            mcm.validate()
+
+
+class TestCompassMCM:
+    def test_three_dies(self):
+        mcm = build_compass_mcm()
+        assert set(mcm.dies) == {"sog", "sensor_x", "sensor_y"}
+
+    def test_oscillator_resistor_on_substrate(self):
+        # §3.1: the 12.5 MΩ resistor "is realised on the substrate".
+        mcm = build_compass_mcm()
+        assert mcm.passives["r_osc"].value == pytest.approx(OSCILLATOR_RESISTANCE)
+
+    def test_assembly_validates(self):
+        build_compass_mcm().validate()
+
+    def test_each_sensor_fully_wired(self):
+        mcm = build_compass_mcm()
+        for axis in ("x", "y"):
+            for sig in ("exc_p", "exc_n", "pick_p", "pick_n"):
+                net = mcm.nets[f"{axis}_{sig}"]
+                dies = {die for die, _ in net.connections}
+                assert dies == {"sog", f"sensor_{axis}"}
+
+    def test_pad_count(self):
+        mcm = build_compass_mcm()
+        assert mcm.pad_count() == 22 + 4 + 4
+
+
+class TestSubstrateRule:
+    def test_large_capacitor_needs_substrate(self):
+        assert requires_substrate(capacitance=500e-12)
+
+    def test_small_capacitor_stays_on_array(self):
+        assert not requires_substrate(capacitance=10e-12)
+
+    def test_oscillator_resistor_needs_substrate(self):
+        assert requires_substrate(resistance=OSCILLATOR_RESISTANCE)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            requires_substrate(capacitance=-1.0)

@@ -1,0 +1,75 @@
+"""Tests for the sensor multiplexer and measurement schedule."""
+
+import pytest
+
+from repro.analog.mux import ChannelSlot, MeasurementSchedule, SensorMultiplexer
+from repro.errors import ConfigurationError
+
+
+class TestChannelSlot:
+    def test_total_periods(self):
+        slot = ChannelSlot("x", settle_periods=1, count_periods=8)
+        assert slot.total_periods == 9
+
+    def test_invalid_channel(self):
+        with pytest.raises(ConfigurationError):
+            ChannelSlot("z", 1, 8)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelSlot("x", 0, 0)
+
+
+class TestMeasurementSchedule:
+    def test_default_is_x_then_y(self):
+        slots = MeasurementSchedule().slots()
+        assert [s.channel for s in slots] == ["x", "y"]
+
+    def test_total_periods(self):
+        schedule = MeasurementSchedule(count_periods=8, settle_periods=1)
+        assert schedule.total_periods == 18
+
+    def test_measurement_time_at_8khz(self):
+        schedule = MeasurementSchedule(count_periods=8, settle_periods=1)
+        # 18 periods at 125 µs = 2.25 ms per heading measurement.
+        assert schedule.measurement_time(8000.0) == pytest.approx(2.25e-3)
+
+    def test_update_rate(self):
+        schedule = MeasurementSchedule(count_periods=8, settle_periods=1)
+        assert schedule.update_rate_hz(8000.0) == pytest.approx(444.4, rel=1e-3)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementSchedule().measurement_time(0.0)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementSchedule(count_periods=0)
+        with pytest.raises(ConfigurationError):
+            MeasurementSchedule(settle_periods=-1)
+
+
+class TestSensorMultiplexer:
+    def test_starts_on_x(self):
+        assert SensorMultiplexer().active_channel == "x"
+
+    def test_select(self):
+        mux = SensorMultiplexer()
+        mux.select("y")
+        assert mux.active_channel == "y"
+
+    def test_invalid_select(self):
+        with pytest.raises(ConfigurationError):
+            SensorMultiplexer().select("w")
+
+    def test_cycle_walks_schedule(self):
+        mux = SensorMultiplexer(MeasurementSchedule(count_periods=4, settle_periods=1))
+        visited = [slot.channel for slot in mux.cycle()]
+        assert visited == ["x", "y"]
+        assert mux.active_channel == "y"
+
+    def test_channel_duty_is_half(self):
+        mux = SensorMultiplexer()
+        assert mux.duty_of_channel("x") == pytest.approx(0.5)
+        assert mux.duty_of_channel("y") == pytest.approx(0.5)
+        assert mux.duty_of_channel("x") + mux.duty_of_channel("y") == pytest.approx(1.0)

@@ -1,0 +1,100 @@
+"""Tests for the compass netlist and the §2 area claims."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.netlist import (
+    CompassNetlist,
+    MappingParameters,
+    analog_raw_pairs,
+    bscan_raw_pairs,
+    cordic_raw_pairs,
+    counter_raw_pairs,
+    watch_raw_pairs,
+)
+from repro.soc.sea_of_gates import FishboneSoG, PAIRS_PER_QUARTER
+
+
+class TestMappingParameters:
+    def test_footprint_rounds_up(self):
+        mapping = MappingParameters(digital_efficiency=0.5)
+        assert mapping.footprint(3, "digital") == 6
+        assert mapping.footprint(1, "digital") == 2
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            MappingParameters(digital_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            MappingParameters(analog_efficiency=1.5)
+
+
+class TestRawCounts:
+    def test_cordic_dominates_digital_blocks(self):
+        # The barrel shifters and four wide registers make the CORDIC the
+        # largest digital block by a clear margin.
+        assert cordic_raw_pairs() > 2 * counter_raw_pairs()
+        assert cordic_raw_pairs() > watch_raw_pairs()
+
+    def test_cordic_scales_with_width(self):
+        assert cordic_raw_pairs(register_width=32) > cordic_raw_pairs(register_width=24)
+
+    def test_bscan_scales_with_chain(self):
+        assert bscan_raw_pairs(chain_length=80) > bscan_raw_pairs(chain_length=40)
+
+    def test_analog_is_small(self):
+        # The whole front-end is a few hundred raw pairs — tiny next to
+        # the digital section, exactly as the paper reports.
+        assert analog_raw_pairs() < 1000
+
+
+class TestPaperAreaClaims:
+    def test_digital_occupies_three_quarters(self):
+        netlist = CompassNetlist()
+        quarters = netlist.digital_pairs() / PAIRS_PER_QUARTER
+        # "The digital part ... occupies 3 quarters fully."
+        assert 2.7 <= quarters <= 3.0
+
+    def test_analog_below_15_percent_of_quarter(self):
+        netlist = CompassNetlist()
+        fraction = netlist.analog_pairs() / PAIRS_PER_QUARTER
+        # "...and the analogue part 1 quarter for less than 15%."
+        assert fraction < 0.15
+
+    def test_placement_matches_paper_floorplan(self):
+        array = CompassNetlist().place()
+        report = array.utilisation_report()
+        assert report[0][0] == "digital"
+        assert report[1][0] == "digital"
+        assert report[2][0] == "digital"
+        assert report[3][0] == "analog"
+        # Digital quarters essentially full.
+        assert array.quarters_fully_used_by("digital", threshold=0.90) == 3
+        # Analogue quarter nearly empty.
+        assert report[3][1] < 0.15
+
+    def test_whole_netlist_fits_the_array(self):
+        array = CompassNetlist().place()
+        for quarter in array.quarters:
+            assert quarter.used_pairs <= quarter.capacity_pairs
+
+    def test_oversized_mapping_fails_loudly(self):
+        from repro.errors import ResourceError
+
+        bloated = CompassNetlist(MappingParameters(digital_efficiency=0.05))
+        with pytest.raises(ResourceError):
+            bloated.place()
+
+    def test_raw_summary_covers_all_blocks(self):
+        summary = CompassNetlist().raw_pair_summary()
+        assert set(summary) == {
+            "counter", "cordic", "control", "watch", "display",
+            "boundary_scan", "pads_clocks", "analog_front_end",
+        }
+        assert all(v > 0 for v in summary.values())
+
+    def test_oscillator_capacitor_within_array_limit(self):
+        # The 10 pF timing capacitor stays on-array (< 400 pF).
+        netlist = CompassNetlist()
+        analog_block = netlist.analog_blocks[0]
+        assert analog_block.capacitance == pytest.approx(10e-12)
+        CompassNetlist().place()  # placement must not reject it

@@ -1,0 +1,108 @@
+"""Tests for the noise models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.noise import (
+    NOISELESS,
+    TYPICAL_1997_CMOS,
+    NoiseBudget,
+    NoiseGenerator,
+    thermal_noise_density,
+)
+
+
+class TestNoiseBudget:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseBudget(white_density=-1.0)
+
+    def test_noiseless_flag(self):
+        assert NOISELESS.is_noiseless
+        assert not TYPICAL_1997_CMOS.is_noiseless
+
+    def test_flicker_only_still_counts_as_noiseless(self):
+        # Flicker without a white floor produces nothing in our model.
+        budget = NoiseBudget(flicker_corner_hz=1000.0)
+        assert budget.is_noiseless
+
+
+class TestThermalNoise:
+    def test_77_ohm_sensor_noise_density(self):
+        # The measured sensor's 77 Ω: ~1.1 nV/√Hz at 300 K.
+        density = thermal_noise_density(77.0)
+        assert density == pytest.approx(1.13e-9, rel=0.02)
+
+    def test_scales_with_sqrt_resistance(self):
+        assert thermal_noise_density(400.0) == pytest.approx(
+            2.0 * thermal_noise_density(100.0)
+        )
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            thermal_noise_density(100.0, temperature_k=0.0)
+
+
+class TestNoiseGenerator:
+    def test_deterministic_with_seed(self):
+        a = NoiseGenerator(TYPICAL_1997_CMOS, 1e6, seed=7).white(100)
+        b = NoiseGenerator(TYPICAL_1997_CMOS, 1e6, seed=7).white(100)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = NoiseGenerator(TYPICAL_1997_CMOS, 1e6, seed=1).white(100)
+        b = NoiseGenerator(TYPICAL_1997_CMOS, 1e6, seed=2).white(100)
+        assert not np.array_equal(a, b)
+
+    def test_white_rms_matches_density(self):
+        fs = 1e6
+        gen = NoiseGenerator(NoiseBudget(white_density=100e-9), fs, seed=0)
+        samples = gen.white(200_000)
+        expected_rms = 100e-9 * math.sqrt(fs / 2.0)
+        assert np.std(samples) == pytest.approx(expected_rms, rel=0.02)
+
+    def test_noiseless_budget_returns_zeros(self):
+        gen = NoiseGenerator(NOISELESS, 1e6)
+        assert np.all(gen.voltage_noise(1000) == 0.0)
+
+    def test_flicker_is_low_frequency_weighted(self):
+        fs = 100e3
+        budget = NoiseBudget(white_density=100e-9, flicker_corner_hz=5e3)
+        gen = NoiseGenerator(budget, fs, seed=3)
+        samples = gen.flicker(2**16)
+        spectrum = np.abs(np.fft.rfft(samples)) ** 2
+        freqs = np.fft.rfftfreq(samples.size, 1.0 / fs)
+        low = spectrum[(freqs > 100) & (freqs < 1000)].mean()
+        high = spectrum[(freqs > 20e3) & (freqs < 40e3)].mean()
+        assert low > 5.0 * high
+
+    def test_comparator_offset_statistics(self):
+        budget = NoiseBudget(comparator_offset_sigma=2e-3)
+        offsets = [
+            NoiseGenerator(budget, 1e6, seed=s).comparator_offset()
+            for s in range(400)
+        ]
+        assert np.std(offsets) == pytest.approx(2e-3, rel=0.15)
+
+    def test_zero_offset_budget(self):
+        gen = NoiseGenerator(NOISELESS, 1e6)
+        assert gen.comparator_offset() == 0.0
+
+    def test_jittered_edges_preserve_count(self):
+        gen = NoiseGenerator(TYPICAL_1997_CMOS, 1e6, seed=0)
+        edges = np.linspace(0, 1e-3, 50)
+        jittered = gen.jittered_edges(edges)
+        assert jittered.shape == edges.shape
+        assert np.max(np.abs(jittered - edges)) < 10 * TYPICAL_1997_CMOS.clock_jitter_rms
+
+    def test_jitter_disabled_returns_input(self):
+        gen = NoiseGenerator(NOISELESS, 1e6)
+        edges = np.array([1e-6, 2e-6])
+        assert np.array_equal(gen.jittered_edges(edges), edges)
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            NoiseGenerator(NOISELESS, 0.0)

@@ -1,0 +1,107 @@
+"""Tests for the DC-offset correction servo."""
+
+import pytest
+
+from repro.analog.offset_loop import (
+    OffsetServo,
+    ServoSettings,
+    predicted_residual,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSettings:
+    def test_invalid_gain(self):
+        with pytest.raises(ConfigurationError):
+            ServoSettings(gain=0.0)
+
+    def test_stability_criterion(self):
+        assert ServoSettings(gain=0.5).is_stable
+        assert ServoSettings(gain=1.9).is_stable
+        assert not ServoSettings(gain=2.0).is_stable
+
+
+class TestConvergence:
+    def test_matches_analytic_decay(self):
+        servo = OffsetServo(ServoSettings(gain=0.5))
+        history = servo.run(raw_offset=0.1, periods=10)
+        for n, residual in enumerate(history.residuals):
+            assert residual == pytest.approx(
+                predicted_residual(0.1, 0.5, n + 1)
+            )
+
+    def test_deadbeat_at_unity_gain(self):
+        servo = OffsetServo(ServoSettings(gain=1.0))
+        history = servo.run(raw_offset=0.1, periods=3)
+        assert history.residuals[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_ringing_but_stable_below_two(self):
+        servo = OffsetServo(ServoSettings(gain=1.5))
+        history = servo.run(raw_offset=0.1, periods=30)
+        # Alternating signs early on...
+        assert history.residuals[0] * history.residuals[1] < 0.0
+        # ...but converging.
+        assert abs(history.final_residual) < 1e-4
+
+    def test_unstable_at_two_or_more(self):
+        servo = OffsetServo(ServoSettings(gain=2.5))
+        history = servo.run(raw_offset=0.1, periods=20)
+        assert abs(history.final_residual) > 0.1
+
+    def test_settling_periods(self):
+        servo = OffsetServo(ServoSettings(gain=0.5))
+        history = servo.run(raw_offset=0.1, periods=40)
+        settled = history.settling_periods(tolerance=1e-3)
+        # 0.1 · 0.5^n < 1e-3 → n ≥ 7.
+        assert settled == pytest.approx(6, abs=1)
+
+    def test_never_settles_returns_none(self):
+        servo = OffsetServo(ServoSettings(gain=2.5))
+        history = servo.run(raw_offset=0.1, periods=10)
+        assert history.settling_periods(1e-6) is None
+
+
+class TestQuantisation:
+    def test_limit_cycle_bounded_by_lsb(self):
+        step = 1e-3
+        servo = OffsetServo(ServoSettings(gain=0.8, quantisation_step=step))
+        history = servo.run(raw_offset=0.0573, periods=100)
+        # Steady state: within half an LSB of zero.
+        assert abs(history.final_residual) <= step / 2.0 + 1e-12
+
+    def test_zero_quantisation_is_exact(self):
+        servo = OffsetServo(ServoSettings(gain=0.8, quantisation_step=0.0))
+        history = servo.run(raw_offset=0.0573, periods=100)
+        assert abs(history.final_residual) < 1e-12
+
+
+class TestTrimLimit:
+    def test_saturated_trim_leaves_residual(self):
+        servo = OffsetServo(ServoSettings(gain=1.0, trim_limit=0.05))
+        history = servo.run(raw_offset=0.2, periods=10)
+        assert history.final_residual == pytest.approx(0.15)
+
+    def test_within_limit_unaffected(self):
+        servo = OffsetServo(ServoSettings(gain=1.0, trim_limit=0.5))
+        history = servo.run(raw_offset=0.2, periods=10)
+        assert abs(history.final_residual) < 1e-12
+
+
+class TestServoLifecycle:
+    def test_reset(self):
+        servo = OffsetServo()
+        servo.run(0.1, 5)
+        servo.reset()
+        assert servo.trim == 0.0
+
+    def test_tracks_changed_offset(self):
+        # Temperature moves the raw offset mid-operation; the loop
+        # re-converges.
+        servo = OffsetServo(ServoSettings(gain=0.5))
+        servo.run(0.1, 20)
+        history = servo.run(0.15, 20)
+        assert abs(history.final_residual) < 1e-5
+
+    def test_invalid_periods(self):
+        with pytest.raises(ConfigurationError):
+            OffsetServo().run(0.1, 0)

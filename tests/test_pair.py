@@ -1,0 +1,95 @@
+"""Tests for the orthogonal sensor pair geometry and imperfections."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors.pair import IDEAL_PAIR, OrthogonalSensorPair, PairImperfections
+from repro.sensors.parameters import IDEAL_TARGET
+from repro.units import tesla_to_a_per_m
+
+
+@pytest.fixture
+def pair():
+    return OrthogonalSensorPair(IDEAL_TARGET)
+
+
+class TestAxisFields:
+    def test_north_heading_all_on_x(self, pair):
+        h_x, h_y = pair.axis_fields(40.0, 0.0)
+        assert h_x == pytest.approx(40.0)
+        assert h_y == pytest.approx(0.0, abs=1e-12)
+
+    def test_east_heading_all_on_y(self, pair):
+        h_x, h_y = pair.axis_fields(40.0, 90.0)
+        assert h_x == pytest.approx(0.0, abs=1e-12)
+        assert h_y == pytest.approx(-40.0)
+
+    def test_magnitude_preserved(self, pair):
+        for heading in (0.0, 33.0, 123.0, 287.0):
+            h_x, h_y = pair.axis_fields(40.0, heading)
+            assert math.hypot(h_x, h_y) == pytest.approx(40.0)
+
+    def test_negative_magnitude_rejected(self, pair):
+        with pytest.raises(ConfigurationError):
+            pair.axis_fields(-1.0, 0.0)
+
+    def test_tesla_variant(self, pair):
+        h_x, h_y = pair.axis_fields_from_tesla(50e-6, 0.0)
+        assert h_x == pytest.approx(tesla_to_a_per_m(50e-6))
+
+
+class TestHeadingRecovery:
+    @pytest.mark.parametrize("heading", [0.0, 45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 359.0])
+    def test_round_trip(self, pair, heading):
+        h_x, h_y = pair.axis_fields(40.0, heading)
+        recovered = OrthogonalSensorPair.heading_from_components(h_x, h_y)
+        assert recovered == pytest.approx(heading, abs=1e-9)
+
+    def test_result_in_compass_range(self, pair):
+        h_x, h_y = pair.axis_fields(40.0, 350.0)
+        heading = OrthogonalSensorPair.heading_from_components(h_x, h_y)
+        assert 0.0 <= heading < 360.0
+
+
+class TestImperfections:
+    def test_extreme_misalignment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PairImperfections(misalignment_deg=60.0)
+
+    def test_full_negative_gain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PairImperfections(gain_mismatch=-1.0)
+
+    def test_offsets_shift_components(self):
+        imp = PairImperfections(offset_x=3.0, offset_y=-2.0)
+        pair = OrthogonalSensorPair(IDEAL_TARGET, imperfections=imp)
+        h_x, h_y = pair.axis_fields(40.0, 0.0)
+        assert h_x == pytest.approx(43.0)
+        assert h_y == pytest.approx(-2.0)
+
+    def test_gain_mismatch_scales_y_only(self):
+        imp = PairImperfections(gain_mismatch=0.10)
+        pair = OrthogonalSensorPair(IDEAL_TARGET, imperfections=imp)
+        h_x, h_y = pair.axis_fields(40.0, 90.0)
+        assert h_y == pytest.approx(-44.0)
+        assert h_x == pytest.approx(0.0, abs=1e-12)
+
+    def test_misalignment_rotates_y_axis(self):
+        imp = PairImperfections(misalignment_deg=5.0)
+        pair = OrthogonalSensorPair(IDEAL_TARGET, imperfections=imp)
+        # At heading 0 the misaligned y axis picks up a field component.
+        _, h_y = pair.axis_fields(40.0, 0.0)
+        assert h_y == pytest.approx(40.0 * math.cos(math.radians(95.0)), abs=1e-9)
+
+    def test_imperfections_cause_heading_error(self):
+        imp = PairImperfections(misalignment_deg=3.0, gain_mismatch=0.05)
+        bad = OrthogonalSensorPair(IDEAL_TARGET, imperfections=imp)
+        h_x, h_y = bad.axis_fields(40.0, 45.0)
+        recovered = OrthogonalSensorPair.heading_from_components(h_x, h_y)
+        assert abs(recovered - 45.0) > 0.5  # visibly wrong without calibration
+
+    def test_both_sensors_share_parameters(self, pair):
+        assert pair.sensor_x.params is pair.sensor_y.params
+        assert pair.params is IDEAL_TARGET

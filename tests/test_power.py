@@ -1,0 +1,114 @@
+"""Tests for the power model (§2 multiplexing, §4 gating)."""
+
+import pytest
+
+from repro.analog.mux import MeasurementSchedule
+from repro.core.power import (
+    BlockPower,
+    PowerModel,
+    default_blocks,
+    digital_dynamic_current,
+    excitation_supply_current,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBlockPower:
+    def test_average_current_interpolates(self):
+        block = BlockPower("x", active_current=10e-3, idle_current=1e-3)
+        assert block.average_current(0.0) == pytest.approx(1e-3)
+        assert block.average_current(1.0) == pytest.approx(10e-3)
+        assert block.average_current(0.5) == pytest.approx(5.5e-3)
+
+    def test_invalid_duty(self):
+        block = BlockPower("x", 1e-3)
+        with pytest.raises(ConfigurationError):
+            block.average_current(1.5)
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockPower("x", -1.0)
+
+
+class TestElementaryEstimates:
+    def test_excitation_current_scale(self):
+        # 6 mA peak triangle → ~3 mA average + 0.5 mA bias.
+        assert excitation_supply_current() == pytest.approx(3.5e-3, rel=0.01)
+
+    def test_digital_current_scales_with_gates(self):
+        one = digital_dynamic_current(100, 0.5)
+        two = digital_dynamic_current(200, 0.5)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_invalid_activity(self):
+        with pytest.raises(ConfigurationError):
+            digital_dynamic_current(100, 1.5)
+
+
+class TestScenarios:
+    def test_gating_saves_power(self):
+        model = PowerModel()
+        gated = model.gated(repetition_period=1.0)
+        always = model.always_on()
+        # §4: gating must cut average power dramatically — the analogue
+        # front-end runs 2.25 ms per second instead of continuously.
+        assert gated.total_power < always.total_power / 10.0
+
+    def test_gated_power_dominated_by_keep_alive(self):
+        model = PowerModel()
+        gated = model.gated(repetition_period=1.0)
+        keep_alive = (
+            gated.block_currents["watch_display"]
+            + gated.block_currents["control"]
+        )
+        assert keep_alive > 0.5 * gated.total_current
+
+    def test_multiplexing_halves_momental_power(self):
+        # §2: "reduces ... momental power consumption".
+        model = PowerModel()
+        assert model.momental_analog_power(multiplexed=True) == pytest.approx(
+            model.momental_analog_power(multiplexed=False) / 2.0
+        )
+
+    def test_simultaneous_average_similar_but_peak_doubles(self):
+        # Averages are close (same charge per measurement); the peak is
+        # the multiplexing win.
+        model = PowerModel()
+        mux = model.gated(repetition_period=1.0)
+        sim = model.simultaneous_excitation(repetition_period=1.0)
+        assert sim.total_power == pytest.approx(mux.total_power, rel=0.25)
+
+    def test_faster_updates_cost_more(self):
+        model = PowerModel()
+        slow = model.gated(repetition_period=1.0)
+        fast = model.gated(repetition_period=0.01)
+        assert fast.total_power > slow.total_power
+
+    def test_low_voltage_scales_power(self):
+        # §2: supply scalable to 3.5 V.
+        p5 = PowerModel(supply_voltage=5.0).gated()
+        p35 = PowerModel(supply_voltage=3.5).gated()
+        assert p35.total_power == pytest.approx(0.7 * p5.total_power, rel=1e-6)
+
+    def test_report_table_renders(self):
+        report = PowerModel().gated()
+        table = report.as_table()
+        assert "TOTAL" in table
+        assert "excitation" in table
+
+    def test_invalid_supply(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(supply_voltage=0.0)
+
+
+class TestBudgetSanity:
+    def test_average_compass_power_below_a_watch_battery(self):
+        # A CR2032 sustains ~0.1 mA average; the gated compass at one
+        # measurement per second must be in that class (watch + control
+        # keep-alive dominate).
+        report = PowerModel().gated(repetition_period=1.0)
+        assert report.total_current < 0.5e-3
+
+    def test_default_blocks_complete(self):
+        blocks = default_blocks()
+        assert {"excitation", "counter", "cordic", "watch_display"} <= set(blocks)

@@ -1,0 +1,81 @@
+"""Property-based tests for fixed-point register helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.digital.fixed_point import (
+    fits_signed,
+    from_fixed,
+    saturate_signed,
+    signed_max,
+    signed_min,
+    to_fixed,
+    truncating_shift_right,
+    wrap_signed,
+)
+
+values = st.integers(min_value=-(2**40), max_value=2**40)
+widths = st.integers(min_value=2, max_value=48)
+shifts = st.integers(min_value=0, max_value=20)
+
+
+class TestWrapProperties:
+    @given(v=values, bits=widths)
+    def test_wrap_is_in_range(self, v, bits):
+        wrapped = wrap_signed(v, bits)
+        assert signed_min(bits) <= wrapped <= signed_max(bits)
+
+    @given(v=values, bits=widths)
+    def test_wrap_idempotent(self, v, bits):
+        once = wrap_signed(v, bits)
+        assert wrap_signed(once, bits) == once
+
+    @given(v=values, bits=widths)
+    def test_wrap_preserves_congruence(self, v, bits):
+        assert (wrap_signed(v, bits) - v) % (1 << bits) == 0
+
+    @given(v=values, bits=widths)
+    def test_in_range_values_untouched(self, v, bits):
+        if fits_signed(v, bits):
+            assert wrap_signed(v, bits) == v
+
+
+class TestSaturateProperties:
+    @given(v=values, bits=widths)
+    def test_saturate_in_range(self, v, bits):
+        s = saturate_signed(v, bits)
+        assert signed_min(bits) <= s <= signed_max(bits)
+
+    @given(v=values, bits=widths)
+    def test_saturate_order_preserving(self, v, bits):
+        assert saturate_signed(v, bits) <= saturate_signed(v + 1, bits)
+
+
+class TestShiftProperties:
+    @given(v=values, shift=shifts)
+    def test_truncation_toward_zero(self, v, shift):
+        got = truncating_shift_right(v, shift)
+        expected = int(v / (1 << shift))  # Python int() truncates
+        assert got == expected
+
+    @given(v=values, shift=shifts)
+    def test_sign_preserved_or_zero(self, v, shift):
+        got = truncating_shift_right(v, shift)
+        assert got == 0 or (got > 0) == (v > 0)
+
+    @given(v=values, shift=shifts)
+    def test_magnitude_never_grows(self, v, shift):
+        assert abs(truncating_shift_right(v, shift)) <= abs(v)
+
+
+class TestFixedConversionProperties:
+    @given(
+        v=st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False),
+        frac=st.integers(min_value=0, max_value=16),
+    )
+    def test_round_trip_within_half_lsb(self, v, frac):
+        lsb = 2.0**-frac
+        assert abs(from_fixed(to_fixed(v, frac), frac) - v) <= lsb / 2.0 + 1e-12
+
+    @given(v=st.integers(min_value=-(2**30), max_value=2**30), frac=st.integers(min_value=0, max_value=16))
+    def test_integer_fixed_round_trip_exact(self, v, frac):
+        assert to_fixed(from_fixed(v, frac), frac) == v

@@ -1,0 +1,103 @@
+"""Property-based tests for trace utilities and the counter."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analog.pulse_detector import DetectorOutput, LogicEdge
+from repro.digital.counter import CounterConfig, UpDownCounter
+from repro.simulation.signals import Trace
+
+
+class TestTraceProperties:
+    @given(
+        offset=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+        gain=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    )
+    def test_scaled_linearity(self, offset, gain):
+        t = np.arange(100) * 1e-6
+        v = np.sin(np.linspace(0, 7, 100))
+        tr = Trace(t, v)
+        scaled = tr.scaled(gain, offset)
+        assert np.allclose(scaled.v, gain * v + offset)
+
+    @given(duty=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=30)
+    def test_square_wave_duty_recovered(self, duty):
+        t = np.arange(20000) * 1e-6
+        phase = (t % 1000e-6) / 1000e-6
+        v = (phase < duty).astype(float)
+        measured = Trace(t, v).duty_cycle(0.5)
+        assert abs(measured - duty) < 0.01
+
+    @given(threshold=st.floats(min_value=-0.8, max_value=0.8))
+    @settings(max_examples=30)
+    def test_rising_falling_alternate(self, threshold):
+        t = np.arange(50000) / 1e6
+        tr = Trace(t, np.sin(2 * np.pi * 500 * t))
+        both = sorted(
+            [(x, "r") for x in tr.crossing_times(threshold, "rising")]
+            + [(x, "f") for x in tr.crossing_times(threshold, "falling")]
+        )
+        kinds = [k for _, k in both]
+        assert all(a != b for a, b in zip(kinds, kinds[1:]))
+
+
+class TestCounterProperties:
+    @given(
+        duty=st.floats(min_value=0.0, max_value=1.0),
+        window_ms=st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=40)
+    def test_count_bounded_by_ticks(self, duty, window_ms):
+        counter = UpDownCounter(CounterConfig(width_bits=32))
+        window = window_ms * 1e-3
+        high = duty * window
+        edges = []
+        if 0.0 < high < window:
+            edges = [LogicEdge(0.0, 1), LogicEdge(high, 0)]
+            initial = 1
+        else:
+            initial = 1 if duty >= 0.5 else 0
+        detector = DetectorOutput(
+            edges=tuple(edges), initial_value=initial, window=(0.0, window)
+        )
+        result = counter.count_window(detector)
+        assert abs(result.count) <= result.total_ticks
+        assert result.high_ticks <= result.total_ticks
+
+    @given(duty=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=40)
+    def test_count_tracks_duty_within_quantisation(self, duty):
+        counter = UpDownCounter(CounterConfig(width_bits=32))
+        window = 1e-3
+        detector = DetectorOutput(
+            edges=(LogicEdge((1.0 - duty) * window, 1),),
+            initial_value=0,
+            window=(0.0, window),
+        )
+        result = counter.count_window(detector)
+        expected = counter.expected_count(duty, window)
+        assert abs(result.count - expected) <= 2.0
+
+    @given(
+        duty=st.floats(min_value=0.1, max_value=0.9),
+        split=st.floats(min_value=0.3, max_value=0.7),
+    )
+    @settings(max_examples=30)
+    def test_window_additivity(self, duty, split):
+        # count(A∪B) == count(A) + count(B) for adjacent clock-aligned
+        # windows — the counter never double-counts a tick.
+        counter = UpDownCounter(CounterConfig(width_bits=32))
+        tick = counter.config.tick
+        window = 4096 * tick
+        cut = round(split * 4096) * tick
+        detector = DetectorOutput(
+            edges=(LogicEdge((1.0 - duty) * window, 1),),
+            initial_value=0,
+            window=(0.0, window),
+        )
+        total = counter.count_window(detector, (0.0, window))
+        left = counter.count_window(detector, (0.0, cut))
+        right = counter.count_window(detector, (cut, window))
+        assert total.total_ticks == left.total_ticks + right.total_ticks
+        assert total.count == left.count + right.count

@@ -1,0 +1,129 @@
+"""Property-based tests on system-level invariants."""
+
+import math
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.calibration import fit_ellipse_calibration
+from repro.core.heading import compass_point, mean_heading_deg
+from repro.digital.watch import RippleDivider, TimeOfDay, WatchTimekeeper
+from repro.sensors.pair import OrthogonalSensorPair
+from repro.sensors.parameters import IDEAL_TARGET
+from repro.units import angular_difference_deg, wrap_degrees
+
+
+class TestAngleProperties:
+    @given(angle=st.floats(min_value=-1e5, max_value=1e5, allow_nan=False))
+    def test_wrap_in_range(self, angle):
+        wrapped = wrap_degrees(angle)
+        assert 0.0 <= wrapped < 360.0
+
+    @given(
+        a=st.floats(min_value=0.0, max_value=360.0, allow_nan=False),
+        b=st.floats(min_value=0.0, max_value=360.0, allow_nan=False),
+    )
+    def test_difference_antisymmetric(self, a, b):
+        d1 = angular_difference_deg(a, b)
+        d2 = angular_difference_deg(b, a)
+        # Antisymmetric except at the ±180 branch point; fmod rounding
+        # leaves sub-nanodegree asymmetry.
+        if abs(d1) < 179.999:
+            assert abs(d1 + d2) < 1e-9
+
+    @given(heading=st.floats(min_value=0.0, max_value=359.99))
+    def test_compass_point_within_sector(self, heading):
+        # The reported point's centre is never more than half a sector
+        # away from the heading.
+        point = compass_point(heading)
+        from repro.core.heading import COMPASS_POINTS_16
+
+        centre = COMPASS_POINTS_16.index(point) * 22.5
+        assert abs(angular_difference_deg(heading, centre)) <= 11.25 + 1e-9
+
+
+class TestPairProperties:
+    @given(
+        heading=st.floats(min_value=0.0, max_value=359.99),
+        magnitude=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_round_trip_exact(self, heading, magnitude):
+        pair = OrthogonalSensorPair(IDEAL_TARGET)
+        h_x, h_y = pair.axis_fields(magnitude, heading)
+        recovered = OrthogonalSensorPair.heading_from_components(h_x, h_y)
+        assert abs(angular_difference_deg(recovered, heading)) < 1e-6
+
+    @given(
+        heading=st.floats(min_value=0.0, max_value=359.99),
+        magnitude=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_component_energy_conserved(self, heading, magnitude):
+        pair = OrthogonalSensorPair(IDEAL_TARGET)
+        h_x, h_y = pair.axis_fields(magnitude, heading)
+        assert math.hypot(h_x, h_y) == pytest.approx(magnitude, rel=1e-12)
+
+
+class TestWatchProperties:
+    @given(cycles=st.lists(st.integers(min_value=0, max_value=2**24), max_size=10))
+    def test_divider_conserves_cycles(self, cycles):
+        # Ticks emitted + residual count == cycles fed, exactly.
+        divider = RippleDivider()
+        total_ticks = sum(divider.clock(c) for c in cycles)
+        assert total_ticks * divider.modulus + divider.count == sum(cycles)
+
+    @given(
+        h=st.integers(min_value=0, max_value=23),
+        m=st.integers(min_value=0, max_value=59),
+        s=st.integers(min_value=0, max_value=59),
+        advance=st.integers(min_value=0, max_value=200_000),
+    )
+    def test_time_of_day_modular(self, h, m, s, advance):
+        t = TimeOfDay(h, m, s)
+        advanced = t.advance(advance)
+        expected = (t.total_seconds() + advance) % 86400
+        assert advanced.total_seconds() == expected
+
+    @given(seconds=st.integers(min_value=0, max_value=3600))
+    @settings(max_examples=20)
+    def test_watch_tracks_wall_clock_exactly(self, seconds):
+        watch = WatchTimekeeper()
+        watch.set_time(0, 0, 0)
+        watch.clock(seconds * 2**22)
+        assert watch.time.total_seconds() == seconds
+
+
+class TestCalibrationProperties:
+    @given(
+        offset_x=st.floats(min_value=-300.0, max_value=300.0),
+        offset_y=st.floats(min_value=-300.0, max_value=300.0),
+        gain=st.floats(min_value=0.7, max_value=1.4),
+    )
+    @settings(max_examples=25)
+    def test_fit_recovers_centre(self, offset_x, offset_y, gain):
+        samples = []
+        for i in range(24):
+            theta = 2 * math.pi * i / 24
+            samples.append(
+                (
+                    1000.0 * math.cos(theta) + offset_x,
+                    gain * 1000.0 * math.sin(theta) + offset_y,
+                )
+            )
+        cal = fit_ellipse_calibration(samples)
+        assert abs(cal.offset_x - offset_x) < 1.0
+        assert abs(cal.offset_y - offset_y) < 1.0
+
+    @given(gain=st.floats(min_value=0.7, max_value=1.4))
+    @settings(max_examples=25)
+    def test_corrected_locus_is_circular(self, gain):
+        samples = [
+            (
+                1000.0 * math.cos(2 * math.pi * i / 24),
+                gain * 1000.0 * math.sin(2 * math.pi * i / 24),
+            )
+            for i in range(24)
+        ]
+        cal = fit_ellipse_calibration(samples)
+        radii = [math.hypot(*cal.apply(x, y)) for x, y in samples]
+        assert max(radii) / min(radii) < 1.001

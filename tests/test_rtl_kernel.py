@@ -1,0 +1,112 @@
+"""Tests for the synchronous-RTL kernel."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rtl.kernel import ClockDomain, Module, Register
+
+
+class TestRegister:
+    def test_reads_old_value_until_commit(self):
+        reg = Register("r", 8)
+        reg.set_next(5)
+        assert reg.q == 0
+        reg.commit()
+        assert reg.q == 5
+
+    def test_commit_without_write_holds(self):
+        reg = Register("r", 8, reset=3)
+        reg.commit()
+        assert reg.q == 3
+
+    def test_signed_overflow_rejected(self):
+        reg = Register("r", 8)
+        with pytest.raises(ProtocolError, match="overflow"):
+            reg.set_next(128)
+        reg.set_next(-128)  # in range
+
+    def test_unsigned_range(self):
+        reg = Register("r", 8, signed=False)
+        reg.set_next(255)
+        with pytest.raises(ProtocolError):
+            reg.set_next(-1)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ProtocolError):
+            Register("r", 8).set_next(1.5)
+
+    def test_reset(self):
+        reg = Register("r", 8, reset=7)
+        reg.set_next(1)
+        reg.commit()
+        reg.reset()
+        assert reg.q == 7
+
+
+class Accumulator(Module):
+    """Toy module: adds its input every cycle."""
+
+    def __init__(self):
+        super().__init__("acc")
+        self.total = self.reg("total", 16)
+        self.increment = 1
+
+    def update(self):
+        self.total.set_next(self.total.q + self.increment)
+
+
+class TestClockDomain:
+    def test_tick_advances_registers(self):
+        acc = Accumulator()
+        domain = ClockDomain([acc])
+        domain.tick(5)
+        assert acc.total.q == 5
+        assert domain.cycle_count == 5
+
+    def test_two_phase_semantics(self):
+        # Two modules reading each other see only pre-edge values: a
+        # classic register swap must work without intermediate storage.
+        class Swapper(Module):
+            def __init__(self, name, partner_getter, init):
+                super().__init__(name)
+                self.value = self.reg("value", 8, reset=init)
+                self.partner_getter = partner_getter
+
+            def update(self):
+                self.value.set_next(self.partner_getter())
+
+        a = Swapper("a", lambda: b.value.q, 1)
+        b = Swapper("b", lambda: a.value.q, 2)
+        domain = ClockDomain([a, b])
+        domain.tick()
+        assert (a.value.q, b.value.q) == (2, 1)
+        domain.tick()
+        assert (a.value.q, b.value.q) == (1, 2)
+
+    def test_reset_restores_and_zeroes_cycles(self):
+        acc = Accumulator()
+        domain = ClockDomain([acc])
+        domain.tick(3)
+        domain.reset()
+        assert acc.total.q == 0
+        assert domain.cycle_count == 0
+
+    def test_run_until(self):
+        acc = Accumulator()
+        domain = ClockDomain([acc])
+        cycles = domain.run_until(lambda: acc.total.q >= 10)
+        assert cycles == 10
+
+    def test_run_until_watchdog(self):
+        acc = Accumulator()
+        acc.increment = 0
+        domain = ClockDomain([acc])
+        with pytest.raises(ProtocolError, match="not reached"):
+            domain.run_until(lambda: acc.total.q > 0, max_cycles=50)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClockDomain([])
+
+    def test_flop_count(self):
+        assert Accumulator().flop_count() == 16

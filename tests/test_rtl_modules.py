@@ -1,0 +1,219 @@
+"""Tests for the RTL digital blocks, including behavioural equivalence."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.digital.cordic import CordicArctan
+from repro.digital.watch import RippleDivider
+from repro.errors import ProtocolError
+from repro.rtl.kernel import ClockDomain
+from repro.rtl.modules import (
+    RtlCordic,
+    RtlDivider,
+    RtlMeasurementSequencer,
+    RtlUpDownCounter,
+)
+
+
+def run_cordic(y: int, x: int, iterations: int = 8):
+    cordic = RtlCordic(iterations=iterations)
+    domain = ClockDomain([cordic])
+    cordic.start = 1
+    cordic.x_in = x
+    cordic.y_in = y
+    domain.tick()       # load
+    cordic.start = 0
+    cycles = domain.run_until(lambda: cordic.ready, max_cycles=100)
+    return cordic, cycles
+
+
+class TestRtlCordic:
+    def test_compute_takes_exactly_8_cycles(self):
+        # One iteration per clock: the "only 8 cycles" of §4 (plus the
+        # load edge, which overlaps the counter readout in the chip).
+        _, cycles = run_cordic(700, 1200)
+        assert cycles == 8
+
+    def test_matches_behavioural_model_bit_exactly(self):
+        reference = CordicArctan()
+        for y, x in ((0, 100), (100, 100), (4194, 1), (123, 4000), (2500, 2500)):
+            rtl, _ = run_cordic(y, x)
+            expected = reference.arctan_first_quadrant(y, x)
+            assert rtl.result == expected.angle_fixed
+
+    @given(
+        y=st.integers(min_value=0, max_value=4194),
+        x=st.integers(min_value=0, max_value=4194),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, y, x):
+        if x == 0 and y == 0:
+            return
+        rtl, _ = run_cordic(y, x)
+        expected = CordicArctan().arctan_first_quadrant(y, x)
+        assert rtl.result == expected.angle_fixed
+
+    def test_result_before_ready_rejected(self):
+        cordic = RtlCordic()
+        with pytest.raises(ProtocolError, match="before ready"):
+            cordic.result
+
+    def test_negative_inputs_rejected(self):
+        cordic = RtlCordic()
+        domain = ClockDomain([cordic])
+        cordic.start = 1
+        cordic.x_in = -5
+        cordic.y_in = 1
+        with pytest.raises(ProtocolError, match="first-quadrant"):
+            domain.tick()
+
+    def test_back_to_back_operation(self):
+        cordic = RtlCordic()
+        domain = ClockDomain([cordic])
+        for y, x in ((100, 100), (0, 50)):
+            cordic.start = 1
+            cordic.y_in, cordic.x_in = y, x
+            domain.tick()
+            cordic.start = 0
+            domain.run_until(lambda: cordic.ready, max_cycles=20)
+        assert cordic.result_degrees == pytest.approx(0.0, abs=0.5)
+
+
+class TestRtlUpDownCounter:
+    def test_counts_up_and_down(self):
+        counter = RtlUpDownCounter()
+        domain = ClockDomain([counter])
+        counter.enable = 1
+        counter.up = 1
+        domain.tick(10)
+        counter.up = 0
+        domain.tick(4)
+        assert counter.count == 6
+
+    def test_disable_freezes(self):
+        counter = RtlUpDownCounter()
+        domain = ClockDomain([counter])
+        counter.enable = 0
+        counter.up = 1
+        domain.tick(100)
+        assert counter.count == 0
+
+    def test_synchronous_clear(self):
+        counter = RtlUpDownCounter()
+        domain = ClockDomain([counter])
+        counter.enable = 1
+        counter.up = 1
+        domain.tick(5)
+        counter.clear = 1
+        domain.tick()
+        assert counter.count == 0
+
+    def test_matches_duty_arithmetic(self):
+        # n_high up-cycles and n_low down-cycles → count = n_high − n_low,
+        # identical to the behavioural counter's tick arithmetic.
+        counter = RtlUpDownCounter()
+        domain = ClockDomain([counter])
+        counter.enable = 1
+        for level in [1] * 300 + [0] * 100 + [1] * 50:
+            counter.up = level
+            domain.tick()
+        assert counter.count == 350 - 100
+
+    def test_overflow_guard(self):
+        counter = RtlUpDownCounter(width=4)
+        domain = ClockDomain([counter])
+        counter.enable = 1
+        counter.up = 1
+        with pytest.raises(ProtocolError, match="overflow"):
+            domain.tick(10)
+
+
+class TestRtlDivider:
+    def test_one_pulse_per_wrap(self):
+        divider = RtlDivider(stages=4)
+        domain = ClockDomain([divider])
+        pulses = 0
+        for _ in range(3 * 16):
+            if divider.second_pulse:
+                pulses += 1
+            domain.tick()
+        assert pulses == 3
+
+    def test_matches_behavioural_divider(self):
+        rtl = RtlDivider(stages=6)
+        behavioural = RippleDivider(stages=6)
+        domain = ClockDomain([rtl])
+        rtl_pulses = 0
+        for _ in range(200):
+            if rtl.second_pulse:
+                rtl_pulses += 1
+            domain.tick()
+        assert rtl_pulses == behavioural.clock(200)
+        assert rtl.value.q == behavioural.count
+
+    def test_stage_outputs(self):
+        divider = RtlDivider(stages=4)
+        domain = ClockDomain([divider])
+        domain.tick(0b1010)
+        assert [divider.stage_output(i) for i in range(4)] == [0, 1, 0, 1]
+
+
+class TestRtlSequencer:
+    def _system(self):
+        seq = RtlMeasurementSequencer(settle_cycles=2, count_cycles=5, compute_cycles=8)
+        return seq, ClockDomain([seq])
+
+    def test_walks_the_measurement_states(self):
+        seq, domain = self._system()
+        assert seq.idle
+        seq.go = 1
+        domain.tick()
+        seq.go = 0
+        visited = []
+        for _ in range(2 + 5 + 2 + 5 + 8):
+            visited.append(seq.active_channel)
+            domain.tick()
+        assert seq.idle
+        assert visited[:2] == ["x", "x"]
+        assert "y" in visited
+
+    def test_counter_enable_only_during_count(self):
+        seq, domain = self._system()
+        seq.go = 1
+        domain.tick()
+        seq.go = 0
+        enabled_cycles = 0
+        for _ in range(30):
+            if seq.counter_enable:
+                enabled_cycles += 1
+            domain.tick()
+        assert enabled_cycles == 10  # 5 per channel
+
+    def test_cordic_start_is_one_pulse(self):
+        seq, domain = self._system()
+        seq.go = 1
+        domain.tick()
+        seq.go = 0
+        pulses = 0
+        for _ in range(30):
+            if seq.cordic_start:
+                pulses += 1
+            domain.tick()
+        assert pulses == 1
+
+    def test_sequencer_fires_rtl_cordic(self):
+        # Full RTL integration: sequencer + CORDIC in one clock domain.
+        seq = RtlMeasurementSequencer(settle_cycles=1, count_cycles=2, compute_cycles=10)
+        cordic = RtlCordic()
+        domain = ClockDomain([seq, cordic])
+        seq.go = 1
+        cordic.x_in, cordic.y_in = 1000, 1000
+        domain.tick()
+        seq.go = 0
+        for _ in range(40):
+            cordic.start = 1 if seq.cordic_start else 0
+            domain.tick()
+        assert cordic.ready
+        assert cordic.result_degrees == pytest.approx(45.0, abs=0.5)

@@ -1,0 +1,107 @@
+"""Tests for the fishbone Sea-of-Gates array model (§2, Figure 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceError
+from repro.soc.sea_of_gates import PAIRS_PER_QUARTER, Block, FishboneSoG, Quarter
+from repro.units import SOG_TOTAL_TRANSISTORS
+
+
+class TestGeometry:
+    def test_four_quarters_200k_transistors(self):
+        array = FishboneSoG()
+        assert len(array.quarters) == 4
+        assert array.total_transistors == SOG_TOTAL_TRANSISTORS
+
+    def test_pairs_per_quarter(self):
+        assert PAIRS_PER_QUARTER == 25_000
+
+
+class TestSupplyDomains:
+    def test_supply_assigned_on_first_placement(self):
+        quarter = Quarter(0)
+        quarter.place(Block("b", 100, "digital"))
+        assert quarter.supply == "digital"
+
+    def test_mixed_supply_rejected(self):
+        # §2: separate power supplies for digital and analogue parts.
+        quarter = Quarter(0)
+        quarter.place(Block("d", 100, "digital"))
+        with pytest.raises(ResourceError, match="separate quarter supplies"):
+            quarter.place(Block("a", 100, "analog"))
+
+    def test_reassigning_supply_rejected(self):
+        quarter = Quarter(0)
+        quarter.assign_supply("analog")
+        with pytest.raises(ResourceError):
+            quarter.assign_supply("digital")
+
+    def test_supply_domains_listing(self):
+        array = FishboneSoG()
+        array.quarters[0].assign_supply("digital")
+        array.quarters[3].assign_supply("analog")
+        domains = array.supply_domains()
+        assert domains == {"digital": [0], "analog": [3]}
+
+
+class TestCapacity:
+    def test_overflow_rejected(self):
+        quarter = Quarter(0, capacity_pairs=1000)
+        quarter.place(Block("a", 900, "digital"))
+        with pytest.raises(ResourceError, match="overflow"):
+            quarter.place(Block("b", 200, "digital"))
+
+    def test_utilisation(self):
+        quarter = Quarter(0, capacity_pairs=1000)
+        quarter.place(Block("a", 250, "digital"))
+        assert quarter.utilisation == pytest.approx(0.25)
+        assert quarter.free_pairs == 750
+
+    def test_capacitor_limit_enforced(self):
+        # §2: capacitors > 400 pF must go on the MCM substrate.
+        quarter = Quarter(0)
+        with pytest.raises(ResourceError, match="MCM substrate"):
+            quarter.place(Block("bigcap", 100, "analog", capacitance=500e-12))
+
+    def test_small_capacitor_allowed(self):
+        quarter = Quarter(0)
+        quarter.place(Block("osc", 100, "analog", capacitance=10e-12))
+
+
+class TestAutoPlacement:
+    def test_prefers_matching_supply(self):
+        array = FishboneSoG()
+        array.quarters[1].assign_supply("digital")
+        index = array.auto_place(Block("b", 100, "digital"))
+        assert index == 1
+
+    def test_claims_fresh_quarter_when_needed(self):
+        array = FishboneSoG()
+        array.quarters[0].assign_supply("analog")
+        index = array.auto_place(Block("b", 100, "digital"))
+        assert index != 0
+
+    def test_no_room_anywhere(self):
+        array = FishboneSoG(pairs_per_quarter=100)
+        with pytest.raises(ResourceError, match="no quarter"):
+            array.auto_place(Block("big", 500, "digital"))
+
+    def test_explicit_placement_bounds_checked(self):
+        array = FishboneSoG()
+        with pytest.raises(ConfigurationError):
+            array.place(Block("b", 1, "digital"), 7)
+
+
+class TestReports:
+    def test_utilisation_report(self):
+        array = FishboneSoG(pairs_per_quarter=1000)
+        array.place(Block("b", 500, "digital"), 0)
+        report = array.utilisation_report()
+        assert report[0] == ("digital", 0.5)
+        assert report[1] == ("unassigned", 0.0)
+
+    def test_quarters_fully_used_by(self):
+        array = FishboneSoG(pairs_per_quarter=1000)
+        array.place(Block("b", 990, "digital"), 0)
+        array.place(Block("c", 300, "digital"), 1)
+        assert array.quarters_fully_used_by("digital", threshold=0.95) == 1

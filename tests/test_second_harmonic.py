@@ -1,0 +1,109 @@
+"""Tests for the second-harmonic readout baseline."""
+
+import pytest
+
+from repro.analog.excitation import ExcitationSource
+from repro.errors import ConfigurationError
+from repro.sensors.fluxgate import FluxgateSensor
+from repro.sensors.parameters import IDEAL_TARGET
+from repro.sensors.second_harmonic import (
+    ADCModel,
+    SecondHarmonicReadout,
+)
+from repro.simulation.engine import TimeGrid
+from repro.units import EXCITATION_FREQUENCY_HZ
+
+
+@pytest.fixture(scope="module")
+def current():
+    return ExcitationSource().current(TimeGrid(8), "x", IDEAL_TARGET.series_resistance)
+
+
+@pytest.fixture
+def readout():
+    sensor = FluxgateSensor(IDEAL_TARGET)
+    adc = ADCModel(bits=10, full_scale=2e-3)
+    return SecondHarmonicReadout(sensor, adc, EXCITATION_FREQUENCY_HZ)
+
+
+class TestADCModel:
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            ADCModel(bits=0, full_scale=1.0)
+
+    def test_lsb(self):
+        adc = ADCModel(bits=8, full_scale=1.0)
+        assert adc.lsb == pytest.approx(2.0 / 256)
+
+    def test_round_trip_within_lsb(self):
+        adc = ADCModel(bits=12, full_scale=1.0)
+        for v in (-0.7, -0.1, 0.0, 0.33, 0.999):
+            code = adc.convert(v)
+            assert adc.reconstruct(code) == pytest.approx(v, abs=adc.lsb)
+
+    def test_saturation(self):
+        adc = ADCModel(bits=8, full_scale=1.0)
+        assert adc.convert(10.0) == 127
+        assert adc.convert(-10.0) == -128
+
+    def test_zero_maps_to_zero(self):
+        assert ADCModel(bits=8, full_scale=1.0).convert(0.0) == 0
+
+
+class TestSecondHarmonicPhysics:
+    def test_no_field_no_second_harmonic(self, readout, current):
+        # A symmetric fluxgate produces only odd harmonics at zero field.
+        h2_zero = readout.second_harmonic_amplitude(current, 0.0)
+        h2_field = readout.second_harmonic_amplitude(current, 20.0)
+        assert h2_field > 10.0 * max(h2_zero, 1e-12)
+
+    def test_amplitude_grows_with_field(self, readout, current):
+        amplitudes = [
+            readout.second_harmonic_amplitude(current, h) for h in (5.0, 15.0, 30.0)
+        ]
+        assert amplitudes[0] < amplitudes[1] < amplitudes[2]
+
+    def test_roughly_linear_in_small_fields(self, readout, current):
+        a10 = readout.second_harmonic_amplitude(current, 10.0)
+        a20 = readout.second_harmonic_amplitude(current, 20.0)
+        assert a20 / a10 == pytest.approx(2.0, rel=0.15)
+
+
+class TestReadoutChain:
+    def test_measure_requires_calibration(self, readout, current):
+        with pytest.raises(ConfigurationError, match="calibrated"):
+            readout.measure(current, 10.0)
+
+    def test_calibrated_measurement_recovers_field(self, readout, current):
+        readout.calibrate(current, h_reference=20.0)
+        result = readout.measure(current, 15.0)
+        assert result.field_estimate_a_per_m == pytest.approx(15.0, rel=0.15)
+
+    def test_sign_recovered_from_phase(self, readout, current):
+        readout.calibrate(current, h_reference=20.0)
+        result = readout.measure(current, -15.0)
+        assert result.field_estimate_a_per_m < 0.0
+
+    def test_zero_reference_rejected(self, readout, current):
+        with pytest.raises(ConfigurationError):
+            readout.calibrate(current, 0.0)
+
+    def test_quantisation_limits_resolution(self, current):
+        sensor = FluxgateSensor(IDEAL_TARGET)
+        coarse = SecondHarmonicReadout(
+            sensor, ADCModel(bits=4, full_scale=2e-3), EXCITATION_FREQUENCY_HZ
+        )
+        coarse.calibrate(current, h_reference=20.0)
+        fine = SecondHarmonicReadout(
+            sensor, ADCModel(bits=12, full_scale=2e-3), EXCITATION_FREQUENCY_HZ
+        )
+        fine.calibrate(current, h_reference=20.0)
+        h_true = 13.0
+        err_coarse = abs(coarse.measure(current, h_true).field_estimate_a_per_m - h_true)
+        err_fine = abs(fine.measure(current, h_true).field_estimate_a_per_m - h_true)
+        assert err_fine <= err_coarse
+
+    def test_hardware_cost_declares_adc(self):
+        cost = SecondHarmonicReadout.hardware_cost()
+        assert cost["needs_adc"] is True
+        assert cost["adc_transistors_per_bit"] > 0

@@ -1,0 +1,111 @@
+"""Tests for the fluxgate parameter presets (§2.1.1 of the paper)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.magnetics import CoreParameters
+from repro.sensors.parameters import (
+    DISCRETE_MINIATURE,
+    IDEAL_TARGET,
+    MICROMACHINED_KAW95,
+    FluxgateParameters,
+    preset,
+)
+from repro.units import EXCITATION_CURRENT_PP, HK_MEASURED
+
+
+CURRENT_AMPLITUDE = EXCITATION_CURRENT_PP / 2.0
+
+
+class TestValidation:
+    def test_zero_turns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FluxgateParameters(
+                name="bad",
+                core=CoreParameters(0.8, 43.0),
+                excitation_turns=0,
+                pickup_turns=10,
+                core_area=1e-9,
+                path_length=1e-3,
+                series_resistance=77.0,
+            )
+
+    def test_negative_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FluxgateParameters(
+                name="bad",
+                core=CoreParameters(0.8, 43.0),
+                excitation_turns=10,
+                pickup_turns=10,
+                core_area=-1e-9,
+                path_length=1e-3,
+                series_resistance=77.0,
+            )
+
+
+class TestPaperNumbers:
+    def test_measured_sensor_hk_is_ten_oersted(self):
+        assert MICROMACHINED_KAW95.core.anisotropy_field == pytest.approx(HK_MEASURED)
+
+    def test_measured_sensor_resistance_is_77_ohm(self):
+        assert MICROMACHINED_KAW95.series_resistance == 77.0
+
+    def test_measured_sensor_not_saturated_by_paper_drive(self):
+        # §2.1.1: the Kaw95 device saturates at 15× the earth's field —
+        # far beyond what 12 mA pp through the planar coil produces.
+        assert not MICROMACHINED_KAW95.saturates_with(CURRENT_AMPLITUDE)
+
+    def test_ideal_sensor_saturated_by_paper_drive(self):
+        assert IDEAL_TARGET.saturates_with(CURRENT_AMPLITUDE)
+
+    def test_ideal_drive_ratio_near_best_sensitivity_point(self):
+        # §3.1: "Best sensitivity is obtained when the applied magnetic
+        # field is twice the saturation field" — the design point sits at
+        # ~2.5 (2× plus worldwide-field margin; see DESIGN.md).
+        ratio = IDEAL_TARGET.drive_ratio(CURRENT_AMPLITUDE)
+        assert 2.0 <= ratio <= 3.0
+
+    def test_discrete_sensor_at_two_times_hk(self):
+        # The bench device of Figure 4 is driven to ~2× its (hard) HK.
+        ratio = DISCRETE_MINIATURE.drive_ratio(CURRENT_AMPLITUDE)
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+
+class TestDerivedQuantities:
+    def test_coil_constant(self):
+        expected = IDEAL_TARGET.excitation_turns / IDEAL_TARGET.path_length
+        assert IDEAL_TARGET.excitation_coil_constant == pytest.approx(expected)
+
+    def test_saturation_current_consistency(self):
+        i_sat = IDEAL_TARGET.saturation_current
+        # Driving exactly at the saturation current is the boundary case.
+        assert IDEAL_TARGET.drive_ratio(i_sat) == pytest.approx(1.0)
+
+    def test_unsaturated_inductance_positive(self):
+        assert IDEAL_TARGET.unsaturated_inductance > 0.0
+
+    def test_leakage_adds_to_inductance(self):
+        base = DISCRETE_MINIATURE
+        assert base.unsaturated_inductance > base.leakage_inductance
+
+    def test_with_anisotropy_field(self):
+        adapted = MICROMACHINED_KAW95.with_anisotropy_field(43.0)
+        assert adapted.core.anisotropy_field == 43.0
+        # everything else untouched
+        assert adapted.excitation_turns == MICROMACHINED_KAW95.excitation_turns
+        assert MICROMACHINED_KAW95.core.anisotropy_field == pytest.approx(HK_MEASURED)
+
+    def test_negative_drive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IDEAL_TARGET.drive_ratio(-1.0)
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert preset("ideal") is IDEAL_TARGET
+        assert preset("kaw95") is MICROMACHINED_KAW95
+        assert preset("discrete") is DISCRETE_MINIATURE
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            preset("unobtainium")

@@ -1,0 +1,107 @@
+"""Why the measurement schedule has settle periods.
+
+When the multiplexer enables a channel, the power-gated V-I converter's
+bias settles over a fraction of an excitation period (modelled by
+``ExcitationSettings.soft_start_periods``).  During that ramp the drive
+does not fully saturate the core, so the first period's pulses are weak,
+mispositioned or missing — which is why the control logic discards
+settle periods before opening the counter window.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analog.comparator import PickupAmplifier
+from repro.analog.excitation import ExcitationSettings, ExcitationSource
+from repro.analog.frontend import FrontEndConfig
+from repro.analog.mux import MeasurementSchedule
+from repro.analog.pulse_detector import PulsePositionDetector
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.digital.counter import UpDownCounter
+from repro.errors import ConfigurationError
+from repro.sensors.fluxgate import FluxgateSensor
+from repro.sensors.parameters import IDEAL_TARGET
+from repro.simulation.engine import TimeGrid
+
+SOFT = ExcitationSettings(soft_start_periods=0.7)
+
+
+@pytest.fixture(scope="module")
+def latch_output():
+    """A 9-period measurement with a realistic enable transient."""
+    grid = TimeGrid(n_periods=9)
+    sensor = FluxgateSensor(IDEAL_TARGET)
+    source = ExcitationSource(SOFT)
+    current = source.current(grid, "x", IDEAL_TARGET.series_resistance)
+    waves = sensor.simulate(current, h_external=20.0)
+    amplified = PickupAmplifier().amplify(waves.pickup_voltage)
+    return PulsePositionDetector().detect(amplified), grid
+
+
+class TestSoftStart:
+    def test_envelope_ramps(self):
+        grid = TimeGrid(2)
+        source = ExcitationSource(SOFT)
+        current = source.current(grid, "x", 77.0)
+        first_quarter = current.slice_time(0.0, grid.period / 4.0)
+        last_period = current.slice_time(grid.period, 2 * grid.period - grid.dt)
+        assert max(abs(first_quarter.v)) < 0.5 * max(abs(last_period.v))
+
+    def test_negative_soft_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExcitationSettings(soft_start_periods=-1.0)
+
+    def test_default_is_instant_on(self):
+        grid = TimeGrid(1)
+        current = ExcitationSource().current(grid, "x", 77.0)
+        assert abs(current.v[0]) == pytest.approx(6e-3, rel=1e-2)
+
+
+class TestSettlePeriods:
+    def test_first_period_is_biased(self, latch_output):
+        output, grid = latch_output
+        counter = UpDownCounter()
+        period = grid.period
+        first = counter.count_window(output, (0.0, period))
+        steady = counter.count_window(output, (4 * period, 5 * period))
+        assert first.duty_cycle != pytest.approx(steady.duty_cycle, abs=5e-3)
+
+    def test_settled_window_matches_theory(self, latch_output):
+        output, grid = latch_output
+        sensor = FluxgateSensor(IDEAL_TARGET)
+        counter = UpDownCounter()
+        period = grid.period
+        settled = counter.count_window(output, (period, 9 * period))
+        expected_duty = sensor.expected_duty_cycle(6e-3, 20.0)
+        assert settled.duty_cycle == pytest.approx(expected_duty, abs=3e-3)
+
+    def test_default_schedule_includes_settling(self):
+        assert MeasurementSchedule().settle_periods >= 1
+
+
+class TestEndToEnd:
+    def _compass(self, settle_periods):
+        config = CompassConfig(
+            front_end=FrontEndConfig(excitation=SOFT),
+            schedule=MeasurementSchedule(
+                count_periods=8, settle_periods=settle_periods
+            ),
+        )
+        return IntegratedCompass(config)
+
+    def test_no_settling_breaks_the_budget(self):
+        compass = self._compass(settle_periods=0)
+        worst = max(
+            compass.measure_heading(h).error_against(h)
+            for h in (20.0, 110.0, 290.0)
+        )
+        assert worst > 1.0
+
+    def test_one_settle_period_restores_accuracy(self):
+        compass = self._compass(settle_periods=1)
+        worst = max(
+            compass.measure_heading(h).error_against(h)
+            for h in (20.0, 110.0, 290.0)
+        )
+        assert worst < 1.0

@@ -1,0 +1,204 @@
+"""Tests for Trace and waveform utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.signals import PulseEvent, Trace, find_pulses
+
+
+def make_sine(freq=1000.0, fs=1e6, cycles=5, amplitude=1.0, offset=0.0):
+    t = np.arange(int(fs * cycles / freq)) / fs
+    return Trace(t, amplitude * np.sin(2 * np.pi * freq * t) + offset)
+
+
+class TestTraceConstruction:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trace(np.arange(5.0), np.arange(4.0))
+
+    def test_non_monotone_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trace(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trace(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_basic_properties(self):
+        tr = make_sine()
+        assert len(tr) == 5000
+        assert tr.dt == pytest.approx(1e-6)
+        assert tr.sample_rate == pytest.approx(1e6)
+        assert tr.duration == pytest.approx(5e-3 - 1e-6)
+
+
+class TestTraceArithmetic:
+    def test_add_and_subtract(self):
+        a = make_sine(amplitude=1.0)
+        b = make_sine(amplitude=0.5)
+        assert np.allclose((a + b).v, a.v + b.v)
+        assert np.allclose((a - b).v, a.v - b.v)
+
+    def test_misaligned_grids_rejected(self):
+        a = make_sine()
+        b = Trace(a.t + 1.0, a.v)
+        with pytest.raises(ConfigurationError):
+            a + b
+
+    def test_scaled(self):
+        tr = make_sine()
+        scaled = tr.scaled(2.0, offset=1.0)
+        assert np.allclose(scaled.v, 2.0 * tr.v + 1.0)
+
+
+class TestWaveformMeasurements:
+    def test_mean_of_offset_sine(self):
+        tr = make_sine(offset=0.3)
+        assert tr.mean() == pytest.approx(0.3, abs=1e-3)
+
+    def test_peak_to_peak(self):
+        tr = make_sine(amplitude=2.0)
+        assert tr.peak_to_peak() == pytest.approx(4.0, rel=1e-3)
+
+    def test_rms_of_sine(self):
+        tr = make_sine(amplitude=1.0)
+        assert tr.rms() == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-3)
+
+    def test_derivative_of_sine_is_cosine(self):
+        tr = make_sine(freq=1000.0, amplitude=1.0)
+        deriv = tr.derivative()
+        expected_peak = 2 * np.pi * 1000.0
+        assert np.max(deriv.v) == pytest.approx(expected_peak, rel=1e-3)
+
+    def test_fundamental_frequency(self):
+        tr = make_sine(freq=8000.0, fs=4e6, cycles=10)
+        assert tr.fundamental_frequency() == pytest.approx(8000.0, rel=1e-3)
+
+
+class TestCrossings:
+    def test_rising_crossings_of_sine(self):
+        tr = make_sine(freq=1000.0, cycles=3)
+        crossings = tr.crossing_times(0.0, "rising")
+        # One rising zero crossing per period, including the one right at
+        # the start (sin rises through zero at t = 0).
+        assert crossings.size == 3
+        assert np.allclose(np.diff(crossings), 1e-3, rtol=1e-4)
+
+    def test_falling_crossings(self):
+        tr = make_sine(freq=1000.0, cycles=3)
+        falling = tr.crossing_times(0.0, "falling")
+        assert falling.size == 3
+        assert falling[0] == pytest.approx(0.5e-3, rel=1e-3)
+
+    def test_both_direction(self):
+        tr = make_sine(freq=1000.0, cycles=2)
+        both = tr.crossing_times(0.0, "both")
+        rising = tr.crossing_times(0.0, "rising")
+        falling = tr.crossing_times(0.0, "falling")
+        assert both.size == rising.size + falling.size
+
+    def test_interpolation_beats_sample_grid(self):
+        # Coarse sampling: interpolated crossing should still be accurate
+        # to much better than the sample period.
+        tr = make_sine(freq=1000.0, fs=20e3, cycles=2)
+        falling = tr.crossing_times(0.0, "falling")
+        assert falling[0] == pytest.approx(0.5e-3, abs=5e-6)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ConfigurationError):
+            make_sine().crossing_times(0.0, "sideways")
+
+    def test_no_crossings_returns_empty(self):
+        tr = make_sine(offset=10.0)
+        assert tr.crossing_times(0.0, "rising").size == 0
+
+
+class TestDutyCycle:
+    def test_square_wave_duty(self):
+        t = np.arange(1000) * 1e-6
+        v = (np.floor(t / 100e-6) % 2 == 0).astype(float)
+        duty = Trace(t, v).duty_cycle(0.5)
+        assert duty == pytest.approx(0.5, abs=0.01)
+
+    def test_asymmetric_duty(self):
+        t = np.arange(10000) * 1e-6
+        phase = (t % 1000e-6) / 1000e-6
+        v = (phase < 0.25).astype(float)
+        assert Trace(t, v).duty_cycle(0.5) == pytest.approx(0.25, abs=0.005)
+
+    def test_constant_high(self):
+        t = np.arange(100) * 1e-6
+        assert Trace(t, np.ones(100)).duty_cycle(0.5) == pytest.approx(1.0)
+
+    def test_constant_low(self):
+        t = np.arange(100) * 1e-6
+        assert Trace(t, np.zeros(100)).duty_cycle(0.5) == pytest.approx(0.0)
+
+
+class TestSliceAndSample:
+    def test_slice_time(self):
+        tr = make_sine()
+        sub = tr.slice_time(1e-3, 2e-3)
+        assert sub.t[0] >= 1e-3
+        assert sub.t[-1] <= 2e-3
+
+    def test_empty_slice_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_sine().slice_time(10.0, 11.0)
+
+    def test_sample_at_interpolates(self):
+        tr = Trace(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        assert tr.sample_at(np.array([0.5]))[0] == pytest.approx(1.0)
+
+
+class TestHarmonics:
+    def test_pure_sine_has_no_second_harmonic(self):
+        tr = make_sine(freq=1000.0, cycles=10)
+        h1 = tr.harmonic_amplitude(1000.0, 1)
+        h2 = tr.harmonic_amplitude(1000.0, 2)
+        assert h1 == pytest.approx(1.0, rel=1e-3)
+        assert h2 < 1e-3
+
+    def test_second_harmonic_detected(self):
+        t = np.arange(20000) / 1e6
+        v = np.sin(2 * np.pi * 1000 * t) + 0.25 * np.sin(2 * np.pi * 2000 * t)
+        tr = Trace(t, v)
+        assert tr.harmonic_amplitude(1000.0, 2) == pytest.approx(0.25, rel=1e-2)
+
+    def test_invalid_harmonic_index(self):
+        with pytest.raises(ConfigurationError):
+            make_sine().harmonic_amplitude(1000.0, 0)
+
+
+class TestFindPulses:
+    def _pulse_train(self):
+        t = np.arange(4000) * 1e-6
+        v = np.zeros_like(t)
+        # positive pulse at 1 ms, negative pulse at 3 ms
+        v += 1.0 * np.exp(-((t - 1e-3) / 30e-6) ** 2)
+        v -= 0.8 * np.exp(-((t - 3e-3) / 30e-6) ** 2)
+        return Trace(t, v)
+
+    def test_finds_both_polarities(self):
+        pulses = find_pulses(self._pulse_train(), threshold=0.3)
+        assert len(pulses) == 2
+        assert pulses[0].polarity == +1
+        assert pulses[1].polarity == -1
+
+    def test_pulse_times(self):
+        pulses = find_pulses(self._pulse_train(), threshold=0.3)
+        assert pulses[0].time == pytest.approx(1e-3, abs=5e-6)
+        assert pulses[1].time == pytest.approx(3e-3, abs=5e-6)
+
+    def test_peak_amplitudes_signed(self):
+        pulses = find_pulses(self._pulse_train(), threshold=0.3)
+        assert pulses[0].peak == pytest.approx(1.0, rel=0.01)
+        assert pulses[1].peak == pytest.approx(-0.8, rel=0.01)
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            find_pulses(self._pulse_train(), threshold=0.0)
+
+    def test_high_threshold_finds_nothing(self):
+        assert find_pulses(self._pulse_train(), threshold=5.0) == ()

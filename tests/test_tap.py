@@ -1,0 +1,91 @@
+"""Tests for the IEEE 1149.1 TAP controller state machine."""
+
+import pytest
+
+from repro.btest.tap import TAPController, TapState, TRANSITIONS
+from repro.errors import ProtocolError
+
+
+class TestTransitionTable:
+    def test_complete_table(self):
+        # Every state must define both TMS branches.
+        for state in TapState:
+            assert (state, 0) in TRANSITIONS
+            assert (state, 1) in TRANSITIONS
+
+    def test_reset_loop(self):
+        assert TRANSITIONS[(TapState.TEST_LOGIC_RESET, 1)] is TapState.TEST_LOGIC_RESET
+
+    def test_all_states_reachable(self):
+        reachable = {TapState.TEST_LOGIC_RESET}
+        frontier = [TapState.TEST_LOGIC_RESET]
+        while frontier:
+            state = frontier.pop()
+            for tms in (0, 1):
+                nxt = TRANSITIONS[(state, tms)]
+                if nxt not in reachable:
+                    reachable.add(nxt)
+                    frontier.append(nxt)
+        assert reachable == set(TapState)
+
+
+class TestController:
+    def test_starts_in_reset(self):
+        assert TAPController().state is TapState.TEST_LOGIC_RESET
+
+    def test_tms_low_reaches_idle(self):
+        tap = TAPController()
+        tap.step(0)
+        assert tap.state is TapState.RUN_TEST_IDLE
+
+    def test_five_ones_reset_from_anywhere(self):
+        # The defining property of the 1149.1 state encoding.
+        for start in TapState:
+            tap = TAPController()
+            tap.state = start
+            for _ in range(5):
+                tap.step(1)
+            assert tap.state is TapState.TEST_LOGIC_RESET
+
+    def test_dr_scan_walk(self):
+        tap = TAPController()
+        tap.step(0)  # idle
+        for tms in TAPController.path_to_shift_dr():
+            tap.step(tms)
+        assert tap.state is TapState.SHIFT_DR
+        tap.step(0)
+        assert tap.state is TapState.SHIFT_DR  # stays while shifting
+        tap.step(1)
+        assert tap.state is TapState.EXIT1_DR
+        for tms in TAPController.path_exit_to_idle():
+            tap.step(tms)
+        assert tap.state is TapState.RUN_TEST_IDLE
+
+    def test_ir_scan_walk(self):
+        tap = TAPController()
+        tap.step(0)
+        for tms in TAPController.path_to_shift_ir():
+            tap.step(tms)
+        assert tap.state is TapState.SHIFT_IR
+
+    def test_pause_states(self):
+        tap = TAPController()
+        tap.state = TapState.EXIT1_DR
+        tap.step(0)
+        assert tap.state is TapState.PAUSE_DR
+        tap.step(0)
+        assert tap.state is TapState.PAUSE_DR  # parks indefinitely
+        tap.step(1)
+        assert tap.state is TapState.EXIT2_DR
+        tap.step(0)
+        assert tap.state is TapState.SHIFT_DR  # resume shifting
+
+    def test_invalid_tms_rejected(self):
+        with pytest.raises(ProtocolError):
+            TAPController().step(2)
+
+    def test_reset_helper(self):
+        tap = TAPController()
+        tap.state = TapState.SHIFT_DR
+        tap.reset()
+        assert tap.state is TapState.TEST_LOGIC_RESET

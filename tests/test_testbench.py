@@ -1,0 +1,64 @@
+"""Tests for the test-bench helpers (sweeps, reports, experiment log)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.signals import Trace
+from repro.simulation.testbench import (
+    ExperimentLog,
+    Sweep,
+    WaveformReport,
+)
+
+
+class TestSweep:
+    def test_runs_and_collects_rows(self):
+        sweep = Sweep("x", [1.0, 2.0, 3.0], lambda x: {"square": x * x}).run()
+        assert [r.value for r in sweep.rows] == [1.0, 2.0, 3.0]
+        assert np.allclose(sweep.column("square"), [1.0, 4.0, 9.0])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sweep("x", [], lambda x: {})
+
+    def test_column_before_run_rejected(self):
+        sweep = Sweep("x", [1.0], lambda x: {"y": x})
+        with pytest.raises(ConfigurationError):
+            sweep.column("y")
+
+    def test_table_renders_header_and_rows(self):
+        sweep = Sweep("amp", [0.5], lambda x: {"gain": 2 * x}).run()
+        table = sweep.as_table()
+        assert "amp" in table
+        assert "gain" in table
+        assert table.count("\n") == 2  # header, rule, one row
+
+
+class TestWaveformReport:
+    def test_summarises_sine(self):
+        t = np.arange(20000) / 1e6
+        tr = Trace(t, 2.0 * np.sin(2 * np.pi * 1000 * t) + 0.5)
+        report = WaveformReport.from_trace(tr)
+        assert report.mean == pytest.approx(0.5, abs=1e-3)
+        assert report.peak_to_peak == pytest.approx(4.0, rel=1e-3)
+        assert report.frequency_hz == pytest.approx(1000.0, rel=1e-3)
+
+
+class TestExperimentLog:
+    def test_markdown_rendering(self):
+        log = ExperimentLog()
+        log.add("FIG8", "1 deg in 8 cycles", "0.59 deg", True)
+        log.add("ACC1", "within 1 deg", "1.2 deg", False, notes="noisy run")
+        md = log.as_markdown()
+        assert "| FIG8 |" in md
+        assert "reproduced" in md
+        assert "DIVERGED" in md
+        assert "noisy run" in md
+
+    def test_all_passed(self):
+        log = ExperimentLog()
+        log.add("A", "x", "y", True)
+        assert log.all_passed
+        log.add("B", "x", "y", False)
+        assert not log.all_passed

@@ -1,0 +1,83 @@
+"""Tests for the temperature-drift models."""
+
+import pytest
+
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.errors import ConfigurationError
+from repro.physics.thermal import (
+    NOMINAL_COEFFICIENTS,
+    T_REFERENCE_C,
+    ThermalCoefficients,
+    compass_config_at_temperature,
+    oscillator_at_temperature,
+    sensor_at_temperature,
+)
+from repro.sensors.parameters import IDEAL_TARGET
+
+
+class TestCoefficients:
+    def test_factor_at_reference_is_unity(self):
+        c = NOMINAL_COEFFICIENTS
+        assert c.factor(c.hk_per_k, T_REFERENCE_C) == 1.0
+
+    def test_factor_scales_linearly(self):
+        c = ThermalCoefficients()
+        assert c.factor(0.01, T_REFERENCE_C + 10.0) == pytest.approx(1.1)
+
+
+class TestSensorDrift:
+    def test_hk_falls_with_temperature(self):
+        hot = sensor_at_temperature(IDEAL_TARGET, 60.0)
+        cold = sensor_at_temperature(IDEAL_TARGET, -20.0)
+        assert hot.core.anisotropy_field < IDEAL_TARGET.core.anisotropy_field
+        assert cold.core.anisotropy_field > IDEAL_TARGET.core.anisotropy_field
+
+    def test_copper_resistance_rises(self):
+        hot = sensor_at_temperature(IDEAL_TARGET, 60.0)
+        expected = IDEAL_TARGET.series_resistance * (1 + 3.9e-3 * 35.0)
+        assert hot.series_resistance == pytest.approx(expected)
+
+    def test_reference_temperature_is_identity(self):
+        same = sensor_at_temperature(IDEAL_TARGET, T_REFERENCE_C)
+        assert same.core.anisotropy_field == IDEAL_TARGET.core.anisotropy_field
+        assert same.series_resistance == IDEAL_TARGET.series_resistance
+
+    def test_out_of_envelope_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sensor_at_temperature(IDEAL_TARGET, 200.0)
+
+
+class TestOscillatorDrift:
+    def test_frequency_drift_is_ppm_scale(self):
+        base = CompassConfig().front_end.excitation.oscillator
+        hot = oscillator_at_temperature(base, 85.0)
+        rel = hot.frequency_hz / base.frequency_hz - 1.0
+        # 25 + 30 ppm/K over 60 K ≈ 0.33 %.
+        assert abs(rel) < 0.005
+        assert rel != 0.0
+
+
+class TestCompassOverTemperature:
+    @pytest.mark.parametrize("temperature", [-20.0, 25.0, 60.0])
+    def test_accuracy_maintained(self, temperature):
+        config = compass_config_at_temperature(CompassConfig(), temperature)
+        compass = IntegratedCompass(config)
+        for heading in (30.0, 200.0):
+            m = compass.measure_heading(heading)
+            assert m.error_against(heading) < 1.0
+
+    def test_heading_shift_small_across_range(self):
+        # The ratiometric architecture cancels common-mode drift: the
+        # same heading measured at -20 and +60 °C differs by < 0.5°.
+        cold = IntegratedCompass(
+            compass_config_at_temperature(CompassConfig(), -20.0)
+        )
+        hot = IntegratedCompass(
+            compass_config_at_temperature(CompassConfig(), 60.0)
+        )
+        for heading in (45.0, 137.0):
+            delta = abs(
+                cold.measure_heading(heading).heading_deg
+                - hot.measure_heading(heading).heading_deg
+            )
+            assert delta < 0.5

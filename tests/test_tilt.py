@@ -1,0 +1,119 @@
+"""Tests for the tilt-sensitivity analysis."""
+
+import math
+
+import pytest
+
+from repro.core.tilt import (
+    Attitude,
+    apparent_heading_deg,
+    body_field_components,
+    max_tolerable_tilt_deg,
+    small_angle_error_deg,
+    tilt_error_deg,
+    tilted_axis_fields,
+)
+from repro.errors import ConfigurationError
+from repro.physics.earth_field import DipoleEarthField, FieldVector
+
+#: A mid-latitude field: 18 µT horizontal, 48 µT down (Enschede-like).
+FIELD = FieldVector(north=18e-6, east=0.0, down=48e-6)
+
+
+class TestAttitude:
+    def test_invalid_pitch(self):
+        with pytest.raises(ConfigurationError):
+            Attitude(0.0, pitch_deg=95.0)
+
+    def test_invalid_roll(self):
+        with pytest.raises(ConfigurationError):
+            Attitude(0.0, roll_deg=200.0)
+
+
+class TestLevelCompass:
+    @pytest.mark.parametrize("heading", [0.0, 45.0, 137.0, 270.0])
+    def test_level_attitude_exact(self, heading):
+        attitude = Attitude(heading)
+        assert apparent_heading_deg(FIELD, attitude) == pytest.approx(
+            heading, abs=1e-9
+        )
+        assert tilt_error_deg(FIELD, attitude) == pytest.approx(0.0, abs=1e-9)
+
+    def test_body_components_preserve_magnitude(self):
+        attitude = Attitude(73.0, pitch_deg=12.0, roll_deg=-7.0)
+        bx, by, bz = body_field_components(FIELD, attitude)
+        assert math.sqrt(bx**2 + by**2 + bz**2) == pytest.approx(FIELD.total)
+
+    def test_level_matches_pair_convention(self):
+        # At heading 90° the level y sensor reads −|H| (pair convention).
+        from repro.units import tesla_to_a_per_m
+
+        h_x, h_y = tilted_axis_fields(FIELD, Attitude(90.0))
+        assert h_x == pytest.approx(0.0, abs=1e-6)
+        assert h_y == pytest.approx(-tesla_to_a_per_m(18e-6), rel=1e-9)
+
+
+class TestTiltError:
+    def test_small_angle_formula_matches_exact(self):
+        inclination = FIELD.inclination_deg
+        for heading in (30.0, 120.0, 250.0):
+            for pitch, roll in ((2.0, 0.0), (0.0, 2.0), (1.0, -1.5)):
+                exact = tilt_error_deg(FIELD, Attitude(heading, pitch, roll))
+                approx = small_angle_error_deg(inclination, heading, pitch, roll)
+                assert exact == pytest.approx(approx, abs=0.35)
+
+    def test_error_scales_with_inclination(self):
+        steep = FieldVector(north=10e-6, east=0.0, down=55e-6)
+        shallow = FieldVector(north=30e-6, east=0.0, down=10e-6)
+        attitude = Attitude(90.0, pitch_deg=3.0)
+        assert abs(tilt_error_deg(steep, attitude)) > 3.0 * abs(
+            tilt_error_deg(shallow, attitude)
+        )
+
+    def test_pitch_error_vanishes_facing_north(self):
+        # At ψ=0 the pitch axis is aligned with east: pitch leaks no
+        # vertical field into the measurement plane's relevant component.
+        error = tilt_error_deg(FIELD, Attitude(0.0, pitch_deg=3.0))
+        assert abs(error) < 0.05
+
+    def test_pitch_error_worst_facing_east(self):
+        east = abs(tilt_error_deg(FIELD, Attitude(90.0, pitch_deg=3.0)))
+        north = abs(tilt_error_deg(FIELD, Attitude(0.0, pitch_deg=3.0)))
+        assert east > 10.0 * north
+
+    def test_one_degree_of_tilt_costs_degrees_at_high_inclination(self):
+        # tan(69.4°) ≈ 2.66: a 1° pitch facing east costs ~2.7° heading.
+        error = abs(tilt_error_deg(FIELD, Attitude(90.0, pitch_deg=1.0)))
+        assert error == pytest.approx(
+            math.tan(math.radians(FIELD.inclination_deg)), rel=0.1
+        )
+
+
+class TestTolerableTilt:
+    def test_budget_formula(self):
+        tilt = max_tolerable_tilt_deg(inclination_deg=69.4, heading_budget_deg=1.0)
+        assert tilt == pytest.approx(1.0 / math.tan(math.radians(69.4)), rel=1e-9)
+
+    def test_equator_is_forgiving(self):
+        assert max_tolerable_tilt_deg(0.0) == float("inf")
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            max_tolerable_tilt_deg(60.0, heading_budget_deg=0.0)
+
+
+class TestEndToEndTilt:
+    def test_compass_sees_the_tilt_error(self):
+        # Drive the real compass with tilted components: the measured
+        # heading error matches the geometric prediction.
+        from repro.core.compass import IntegratedCompass
+
+        compass = IntegratedCompass()
+        field = DipoleEarthField().field_at(52.22, 6.89)
+        attitude = Attitude(90.0, pitch_deg=2.0)
+        h_x, h_y = tilted_axis_fields(field, attitude)
+        m = compass.measure_components(h_x, h_y)
+        predicted = apparent_heading_deg(field, attitude)
+        assert m.heading_deg == pytest.approx(predicted, abs=1.0)
+        # And the tilt pushed it well off the true 90°.
+        assert m.error_against(90.0) > 2.0

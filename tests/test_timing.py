@@ -1,0 +1,72 @@
+"""Tests for the static timing analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.timing import (
+    CLOCK_SKEW_NS,
+    analyse_chip,
+    cordic_iteration_path,
+    counter_increment_path,
+    divider_stage_path,
+    max_clock_hz,
+)
+from repro.units import COUNTER_CLOCK_HZ
+
+
+class TestPathReports:
+    def test_cordic_is_the_critical_path(self):
+        reports = analyse_chip()
+        assert "cordic" in reports[0].name
+
+    def test_design_closes_at_paper_clock(self):
+        # The whole point: 238 ns is generous even for ripple-carry
+        # arithmetic on a 1 µm gate array.
+        for report in analyse_chip():
+            assert report.closes, report.describe()
+
+    def test_slack_arithmetic(self):
+        report = divider_stage_path()
+        assert report.slack_ns == pytest.approx(
+            report.clock_period_ns - CLOCK_SKEW_NS - report.delay_ns
+        )
+
+    def test_cordic_delay_dominated_by_carry_chain(self):
+        report = cordic_iteration_path()
+        carry = next(d for name, d in report.stages if "carry hops" in name)
+        assert carry > 0.5 * report.delay_ns
+
+    def test_wider_datapath_slower(self):
+        narrow = cordic_iteration_path(register_width=16)
+        wide = cordic_iteration_path(register_width=32)
+        assert wide.delay_ns > narrow.delay_ns
+
+    def test_describe_renders(self):
+        text = cordic_iteration_path().describe()
+        assert "slack" in text
+        assert "MET" in text
+
+
+class TestClockHeadroom:
+    def test_max_clock_above_paper_clock(self):
+        report = cordic_iteration_path()
+        assert max_clock_hz(report) > COUNTER_CLOCK_HZ
+
+    def test_design_breaks_at_some_faster_clock(self):
+        # 16 MHz (the next watch-crystal multiple ×4) would violate the
+        # CORDIC path — documenting why 4.19 MHz is also a timing choice.
+        report = cordic_iteration_path(clock_hz=16.777216e6)
+        assert not report.closes
+
+    def test_counter_has_more_headroom_than_cordic(self):
+        assert max_clock_hz(counter_increment_path()) > max_clock_hz(
+            cordic_iteration_path()
+        )
+
+
+class TestValidation:
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cordic_iteration_path(register_width=1)
+        with pytest.raises(ConfigurationError):
+            counter_increment_path(width=1)

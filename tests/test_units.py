@@ -1,0 +1,90 @@
+"""Tests for repro.units: conversions, paper constants, angle wrapping."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestMagneticConversions:
+    def test_oersted_round_trip(self):
+        assert units.a_per_m_to_oersted(units.oersted_to_a_per_m(3.7)) == pytest.approx(3.7)
+
+    def test_one_oersted_is_79_577_a_per_m(self):
+        assert units.oersted_to_a_per_m(1.0) == pytest.approx(79.5775, rel=1e-4)
+
+    def test_tesla_round_trip(self):
+        assert units.a_per_m_to_tesla(units.tesla_to_a_per_m(50e-6)) == pytest.approx(50e-6)
+
+    def test_free_space_relation(self):
+        # B = mu0 * H in free space.
+        h = units.tesla_to_a_per_m(1.0)
+        assert h * units.MU_0 == pytest.approx(1.0)
+
+    def test_microtesla_helper(self):
+        assert units.microtesla_to_a_per_m(50.0) == pytest.approx(
+            units.tesla_to_a_per_m(50e-6)
+        )
+
+
+class TestPaperConstants:
+    def test_counter_clock_is_power_of_two(self):
+        # 4.194304 MHz = 2^22 Hz — divides to exactly 1 Hz for the watch.
+        assert units.COUNTER_CLOCK_HZ == 2**22
+
+    def test_oscillator_rc_equals_excitation_period(self):
+        # 12.5 MΩ × 10 pF = 125 µs = 1 / 8 kHz: the paper's component
+        # values encode the excitation frequency.
+        rc = units.OSCILLATOR_RESISTANCE * units.OSCILLATOR_CAPACITANCE
+        assert rc == pytest.approx(1.0 / units.EXCITATION_FREQUENCY_HZ)
+
+    def test_hk_measured_is_ten_oersted(self):
+        assert units.HK_MEASURED == pytest.approx(units.oersted_to_a_per_m(10.0))
+
+    def test_earth_field_is_one_fifteenth_of_hk(self):
+        # §2.1.1: saturation at 15 × the earth's field.
+        assert units.HK_MEASURED / units.H_EARTH_NOMINAL == pytest.approx(15.0)
+
+    def test_ideal_hk_within_earth_field_range(self):
+        low = units.tesla_to_a_per_m(units.EARTH_FIELD_MIN_T)
+        high = units.tesla_to_a_per_m(units.EARTH_FIELD_MAX_T)
+        assert low < units.HK_IDEAL < high
+
+    def test_counter_cycles_per_excitation_period(self):
+        assert units.COUNTER_CYCLES_PER_EXCITATION_PERIOD == pytest.approx(524.288)
+
+    def test_worldwide_field_range_matches_paper(self):
+        assert units.EARTH_FIELD_MIN_T == 25e-6
+        assert units.EARTH_FIELD_MAX_T == 65e-6
+
+
+class TestAngleWrapping:
+    @pytest.mark.parametrize(
+        "angle, expected",
+        [(0.0, 0.0), (360.0, 0.0), (-90.0, 270.0), (725.0, 5.0), (359.9, 359.9)],
+    )
+    def test_wrap_degrees(self, angle, expected):
+        assert units.wrap_degrees(angle) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "angle, expected",
+        [(0.0, 0.0), (180.0, -180.0), (-180.0, -180.0), (190.0, -170.0), (-190.0, 170.0)],
+    )
+    def test_wrap_degrees_signed(self, angle, expected):
+        assert units.wrap_degrees_signed(angle) == pytest.approx(expected)
+
+    def test_angular_difference_shortest_path(self):
+        assert units.angular_difference_deg(359.0, 1.0) == pytest.approx(-2.0)
+        assert units.angular_difference_deg(1.0, 359.0) == pytest.approx(2.0)
+
+    def test_angular_difference_symmetric_magnitude(self):
+        assert abs(units.angular_difference_deg(10.0, 250.0)) == pytest.approx(
+            abs(units.angular_difference_deg(250.0, 10.0))
+        )
+
+    def test_wrap_is_idempotent(self):
+        for angle in (-1000.0, -1.0, 0.0, 123.4, 719.9):
+            once = units.wrap_degrees(angle)
+            assert units.wrap_degrees(once) == pytest.approx(once)
+            assert 0.0 <= once < 360.0

@@ -1,0 +1,147 @@
+"""Tests for the VCD waveform exporter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.simulation.signals import Trace
+from repro.simulation.vcd import VCDWriter, _identifier
+
+
+class TestIdentifiers:
+    def test_unique_for_many_signals(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+
+    def test_printable(self):
+        for i in (0, 93, 94, 500):
+            assert all(33 <= ord(c) <= 126 for c in _identifier(i))
+
+
+class TestDeclaration:
+    def test_duplicate_rejected(self):
+        writer = VCDWriter()
+        writer.add_wire("clk")
+        with pytest.raises(ConfigurationError):
+            writer.add_wire("clk")
+
+    def test_late_declaration_allowed(self):
+        # The header is rendered last, so lazy declaration (used by the
+        # record_detector/record_trace helpers) is legal.
+        writer = VCDWriter()
+        writer.add_wire("clk")
+        writer.record(0.0, "clk", 1)
+        writer.add_wire("late")
+        assert "late" in writer.render()
+
+    def test_undeclared_signal_rejected(self):
+        writer = VCDWriter()
+        writer.add_wire("clk")
+        with pytest.raises(ConfigurationError):
+            writer.record(0.0, "nope", 1)
+
+
+class TestRendering:
+    def test_header_structure(self):
+        writer = VCDWriter(timescale_ns=5.0, module="dut")
+        writer.add_wire("latch")
+        writer.record(0.0, "latch", 0)
+        text = writer.render()
+        assert "$timescale 5 ns $end" in text
+        assert "$scope module dut $end" in text
+        assert "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+
+    def test_scalar_changes(self):
+        writer = VCDWriter(timescale_ns=1.0)
+        writer.add_wire("q")
+        writer.record(0.0, "q", 0)
+        writer.record(10e-9, "q", 1)
+        writer.record(25e-9, "q", 0)
+        text = writer.render()
+        assert "#0\n" in text
+        assert "#10\n" in text
+        assert "#25\n" in text
+
+    def test_deduplication(self):
+        writer = VCDWriter()
+        writer.add_wire("q")
+        writer.record(0.0, "q", 1)
+        writer.record(1e-8, "q", 1)  # no change
+        writer.record(2e-8, "q", 0)
+        body = writer.render().split("$enddefinitions $end\n")[1]
+        assert body.count("\n") == 4  # two timestamps + two values
+
+    def test_vector_format(self):
+        writer = VCDWriter()
+        writer.add_integer("count", width=8)
+        writer.record(0.0, "count", 5)
+        assert "b101 " in writer.render()
+
+    def test_vector_negative_twos_complement(self):
+        writer = VCDWriter()
+        writer.add_integer("count", width=8)
+        writer.record(0.0, "count", -1)
+        assert "b11111111 " in writer.render()
+
+    def test_real_format(self):
+        writer = VCDWriter()
+        writer.add_real("pickup")
+        writer.record(0.0, "pickup", 0.00123)
+        assert "r0.00123 " in writer.render()
+
+    def test_changes_sorted_by_time(self):
+        writer = VCDWriter(timescale_ns=1.0)
+        writer.add_wire("a")
+        writer.add_wire("b")
+        writer.record(20e-9, "a", 1)
+        writer.record(10e-9, "b", 1)
+        body = writer.render().split("$enddefinitions $end\n")[1]
+        assert body.index("#10") < body.index("#20")
+
+    def test_empty_writer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VCDWriter().render()
+
+
+class TestIntegration:
+    def test_detector_output_dump(self):
+        from repro.analog.comparator import PickupAmplifier
+        from repro.analog.excitation import ExcitationSource
+        from repro.analog.pulse_detector import PulsePositionDetector
+        from repro.sensors.fluxgate import FluxgateSensor
+        from repro.sensors.parameters import IDEAL_TARGET
+        from repro.simulation.engine import TimeGrid
+
+        grid = TimeGrid(2)
+        current = ExcitationSource().current(grid, "x", 77.0)
+        waves = FluxgateSensor(IDEAL_TARGET).simulate(current, 20.0)
+        output = PulsePositionDetector().detect(
+            PickupAmplifier().amplify(waves.pickup_voltage)
+        )
+        writer = VCDWriter()
+        writer.record_detector("pp_latch", output)
+        writer.record_trace("pickup_mV", waves.pickup_voltage.scaled(1e3))
+        text = writer.render()
+        assert "pp_latch" in text
+        assert "pickup_mV" in text
+        # One body line per latch edge (plus the initial value).
+        body = text.split("$enddefinitions $end\n")[1]
+        latch_id = next(
+            line.split()[3]
+            for line in text.splitlines()
+            if "pp_latch" in line and line.startswith("$var")
+        )
+        latch_changes = [
+            line for line in body.splitlines()
+            if line.endswith(latch_id) and not line.startswith("#")
+        ]
+        assert len(latch_changes) == len(output.edges) + 1
+
+    def test_write_to_file(self, tmp_path):
+        writer = VCDWriter()
+        writer.add_wire("clk")
+        writer.record(0.0, "clk", 1)
+        path = tmp_path / "wave.vcd"
+        writer.write(str(path))
+        assert path.read_text().startswith("$date")

@@ -1,0 +1,94 @@
+"""Tests for the V-I converter (§3.1 compliance and linearisation)."""
+
+import numpy as np
+import pytest
+
+from repro.analog.vi_converter import VIConverter, VIConverterParameters
+from repro.analog.waveform import TriangularWaveformGenerator
+from repro.errors import ComplianceError, ConfigurationError
+from repro.simulation.engine import TimeGrid
+from repro.units import SUPPLY_VOLTAGE
+
+
+@pytest.fixture
+def triangle():
+    return TriangularWaveformGenerator().generate(TimeGrid(4))
+
+
+class TestParameters:
+    def test_compliance_voltage(self):
+        params = VIConverterParameters(supply_voltage=5.0, headroom=0.1)
+        assert params.compliance_voltage == pytest.approx(4.8)
+
+    def test_paper_max_load_at_5v(self):
+        # §3.1: "sensors with a resistance as high as 800 Ω can be driven".
+        params = VIConverterParameters()
+        assert params.max_load_resistance(6e-3) == pytest.approx(800.0)
+
+    def test_lower_supply_reduces_max_load(self):
+        # §2: the supply "can be scaled down to 3.5V".
+        params = VIConverterParameters(supply_voltage=3.5)
+        assert params.max_load_resistance(6e-3) == pytest.approx(550.0)
+
+    def test_no_swing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VIConverterParameters(supply_voltage=0.2, headroom=0.1)
+
+
+class TestDrive:
+    def test_transconductance(self, triangle):
+        conv = VIConverter(VIConverterParameters(transconductance=6e-3))
+        out = conv.drive(triangle, load_resistance=77.0)
+        assert np.max(out.v) == pytest.approx(6e-3, rel=1e-3)
+
+    def test_compliance_enforced(self, triangle):
+        conv = VIConverter()
+        with pytest.raises(ComplianceError):
+            conv.drive(triangle, load_resistance=900.0)
+
+    def test_800_ohm_exactly_drivable(self, triangle):
+        out = VIConverter().drive(triangle, load_resistance=800.0)
+        assert np.max(np.abs(out.v)) == pytest.approx(6e-3, rel=1e-3)
+
+    def test_disabled_converter_outputs_zero(self, triangle):
+        conv = VIConverter()
+        conv.disable()
+        out = conv.drive(triangle, load_resistance=100.0)
+        assert np.all(out.v == 0.0)
+        conv.enable()
+        assert np.max(conv.drive(triangle, 100.0).v) > 0.0
+
+    def test_output_voltage_across_load(self, triangle):
+        conv = VIConverter()
+        current = conv.drive(triangle, 400.0)
+        voltage = conv.output_voltage(current, 400.0)
+        assert np.max(voltage.v) == pytest.approx(2.4, rel=1e-3)
+
+
+class TestLinearisation:
+    def _thd_proxy(self, trace):
+        """Third-harmonic fraction of a nominally triangular wave."""
+        f0 = trace.fundamental_frequency()
+        h1 = trace.harmonic_amplitude(f0, 1)
+        # A perfect triangle has h3/h1 = 1/9; distortion changes it.
+        return trace.harmonic_amplitude(f0, 3) / h1
+
+    def test_resistive_load_linearises(self, triangle):
+        params_lin = VIConverterParameters(linearised=True, cubic_distortion=0.2)
+        params_raw = VIConverterParameters(linearised=False, cubic_distortion=0.2)
+        lin = VIConverter(params_lin).drive(triangle, 77.0)
+        raw = VIConverter(params_raw).drive(triangle, 77.0)
+        ideal_ratio = 1.0 / 9.0
+        assert abs(self._thd_proxy(lin) - ideal_ratio) < 0.002
+        assert abs(self._thd_proxy(raw) - ideal_ratio) > 0.005
+
+    def test_distortion_compresses_peak(self, triangle):
+        params = VIConverterParameters(linearised=False, cubic_distortion=0.1)
+        out = VIConverter(params).drive(triangle, 77.0)
+        params0 = VIConverterParameters(linearised=True)
+        clean = VIConverter(params0).drive(triangle, 77.0)
+        assert np.max(out.v) == pytest.approx(0.9 * np.max(clean.v), rel=1e-3)
+
+    def test_invalid_distortion_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VIConverterParameters(cubic_distortion=1.5)

@@ -1,0 +1,174 @@
+"""Tests for the watch timekeeping (§4's added features)."""
+
+import pytest
+
+from repro.digital.watch import (
+    DIVIDER_STAGES,
+    RippleDivider,
+    Stopwatch,
+    TimeOfDay,
+    WatchTimekeeper,
+)
+from repro.errors import ConfigurationError, ProtocolError
+from repro.units import COUNTER_CLOCK_HZ
+
+
+class TestRippleDivider:
+    def test_22_stages_divide_to_1hz(self):
+        divider = RippleDivider()
+        assert divider.stages == DIVIDER_STAGES
+        assert divider.output_frequency_hz(COUNTER_CLOCK_HZ) == pytest.approx(1.0)
+
+    def test_one_tick_per_2_22_cycles(self):
+        divider = RippleDivider()
+        assert divider.clock(2**22 - 1) == 0
+        assert divider.clock(1) == 1
+
+    def test_bulk_clocking(self):
+        divider = RippleDivider()
+        assert divider.clock(5 * 2**22 + 3) == 5
+        assert divider.count == 3
+
+    def test_stage_outputs_are_counter_bits(self):
+        divider = RippleDivider(stages=4)
+        divider.clock(0b1011)
+        assert [divider.stage_output(i) for i in range(4)] == [1, 1, 0, 1]
+
+    def test_invalid_stage_index(self):
+        with pytest.raises(ConfigurationError):
+            RippleDivider(stages=4).stage_output(4)
+
+    def test_cannot_clock_backwards(self):
+        with pytest.raises(ConfigurationError):
+            RippleDivider().clock(-1)
+
+
+class TestTimeOfDay:
+    def test_invalid_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeOfDay(24, 0, 0)
+
+    def test_advance(self):
+        t = TimeOfDay(23, 59, 58).advance(3)
+        assert (t.hours, t.minutes, t.seconds) == (0, 0, 1)
+
+    def test_advance_full_day_is_identity(self):
+        t = TimeOfDay(11, 22, 33)
+        assert t.advance(86400) == t
+
+    def test_str_format(self):
+        assert str(TimeOfDay(7, 5, 9)) == "07:05:09"
+
+
+class TestWatchTimekeeper:
+    def test_one_second_of_cycles_ticks_once(self):
+        watch = WatchTimekeeper()
+        watch.set_time(10, 0, 0)
+        ticks = watch.clock(2**22)
+        assert ticks == 1
+        assert str(watch.time) == "10:00:01"
+
+    def test_long_run_no_drift(self):
+        # One hour of crystal cycles advances exactly one hour: the
+        # divider is exact, not approximate — the whole point of 2^22 Hz.
+        watch = WatchTimekeeper()
+        watch.set_time(0, 0, 0)
+        watch.clock(3600 * 2**22)
+        assert str(watch.time) == "01:00:00"
+
+    def test_partial_cycles_accumulate(self):
+        watch = WatchTimekeeper()
+        watch.clock(2**21)
+        assert watch.time.seconds == 0
+        watch.clock(2**21)
+        assert watch.time.seconds == 1
+
+    def test_advance_seconds_helper(self):
+        watch = WatchTimekeeper()
+        watch.set_time(1, 2, 3)
+        watch.advance_seconds(60)
+        assert str(watch.time) == "01:03:03"
+
+    def test_blink_phase_toggles_each_half_second(self):
+        watch = WatchTimekeeper()
+        initial = watch.blink_phase
+        watch.clock(2**21)  # half a second
+        assert watch.blink_phase != initial
+
+
+class TestAlarm:
+    def test_alarm_fires_on_crossing(self):
+        watch = WatchTimekeeper()
+        watch.set_time(6, 59, 58)
+        watch.set_alarm(7, 0)
+        watch.advance_seconds(1)
+        assert not watch.alarm_fired
+        watch.advance_seconds(2)
+        assert watch.alarm_fired
+
+    def test_alarm_does_not_refire(self):
+        watch = WatchTimekeeper()
+        watch.set_time(6, 59, 59)
+        watch.set_alarm(7, 0)
+        watch.advance_seconds(2)
+        assert watch.alarm_fired
+        watch.alarm_fired = False
+        watch.advance_seconds(10)
+        assert not watch.alarm_fired  # next firing only after wrap
+
+    def test_clear_alarm(self):
+        watch = WatchTimekeeper()
+        watch.set_time(6, 59, 59)
+        watch.set_alarm(7, 0)
+        watch.clear_alarm()
+        watch.advance_seconds(5)
+        assert not watch.alarm_fired
+
+    def test_alarm_across_midnight(self):
+        watch = WatchTimekeeper()
+        watch.set_time(23, 59, 59)
+        watch.set_alarm(0, 0)
+        watch.advance_seconds(2)
+        assert watch.alarm_fired
+
+
+class TestStopwatch:
+    def test_accumulates_only_while_running(self):
+        sw = Stopwatch()
+        sw.clock(2**22)
+        assert sw.elapsed_seconds == 0.0
+        sw.start()
+        sw.clock(2**22)
+        sw.stop()
+        sw.clock(2**22)
+        assert sw.elapsed_seconds == pytest.approx(1.0)
+
+    def test_centiseconds(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.clock(int(0.25 * 2**22))
+        assert sw.centiseconds == 25
+
+    def test_protocol_errors(self):
+        sw = Stopwatch()
+        with pytest.raises(ProtocolError):
+            sw.stop()
+        sw.start()
+        with pytest.raises(ProtocolError):
+            sw.start()
+        with pytest.raises(ProtocolError):
+            sw.reset()  # still running
+
+    def test_reset_clears(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.clock(1000)
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed_seconds == 0.0
+
+    def test_watch_integrates_stopwatch(self):
+        watch = WatchTimekeeper()
+        watch.stopwatch.start()
+        watch.clock(2**22 * 3)
+        assert watch.stopwatch.elapsed_seconds == pytest.approx(3.0)

@@ -1,0 +1,106 @@
+"""Tests for the triangular waveform generator (§3.1, Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analog.waveform import OscillatorParameters, TriangularWaveformGenerator
+from repro.errors import ConfigurationError
+from repro.simulation.engine import TimeGrid
+from repro.units import EXCITATION_FREQUENCY_HZ
+
+
+class TestOscillatorParameters:
+    def test_default_frequency_is_8khz(self):
+        # 12.5 MΩ · 10 pF = 125 µs — the paper's component values.
+        assert OscillatorParameters().frequency_hz == pytest.approx(
+            EXCITATION_FREQUENCY_HZ
+        )
+
+    def test_frequency_follows_rc(self):
+        params = OscillatorParameters(resistance=25e6)  # double R
+        assert params.frequency_hz == pytest.approx(4000.0)
+
+    def test_invalid_rc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OscillatorParameters(capacitance=0.0)
+
+    def test_offset_correction_loop(self):
+        params = OscillatorParameters(raw_offset=0.1, offset_loop_gain=99.0)
+        assert params.residual_offset == pytest.approx(0.001)
+
+    def test_no_loop_leaves_offset(self):
+        params = OscillatorParameters(raw_offset=0.1, offset_loop_gain=0.0)
+        assert params.residual_offset == pytest.approx(0.1)
+
+
+class TestWaveformShape:
+    def test_amplitude_and_mean(self):
+        gen = TriangularWaveformGenerator(OscillatorParameters(amplitude=1.5))
+        tr = gen.generate(TimeGrid(8))
+        assert tr.peak_to_peak() == pytest.approx(3.0, rel=1e-2)
+        assert abs(tr.mean()) < 1e-3
+
+    def test_frequency_measured_from_waveform(self):
+        gen = TriangularWaveformGenerator()
+        tr = gen.generate(TimeGrid(16))
+        assert tr.fundamental_frequency() == pytest.approx(8000.0, rel=1e-3)
+
+    def test_starts_at_negative_peak(self):
+        tr = TriangularWaveformGenerator().generate(TimeGrid(1))
+        assert tr.v[0] == pytest.approx(-1.0)
+
+    def test_triangle_linearity(self):
+        # The first quarter-period rising ramp should be a straight line.
+        gen = TriangularWaveformGenerator()
+        grid = TimeGrid(1)
+        tr = gen.generate(grid)
+        quarter = grid.samples_per_period // 4
+        segment = tr.v[:quarter]
+        fit = np.polyfit(np.arange(quarter), segment, 1)
+        residual = segment - np.polyval(fit, np.arange(quarter))
+        assert np.max(np.abs(residual)) < 1e-9
+
+    def test_residual_offset_appears_in_waveform(self):
+        params = OscillatorParameters(raw_offset=0.2, offset_loop_gain=9.0)
+        tr = TriangularWaveformGenerator(params).generate(TimeGrid(8))
+        assert tr.mean() == pytest.approx(0.02, abs=2e-3)
+
+    def test_measure_average_is_the_loop_sensor(self):
+        params = OscillatorParameters(raw_offset=0.2)
+        gen = TriangularWaveformGenerator(params)
+        tr = gen.generate(TimeGrid(8))
+        assert gen.measure_average(tr) == pytest.approx(0.2, abs=2e-3)
+
+
+class TestSlopeAsymmetry:
+    def test_symmetric_by_default(self):
+        gen = TriangularWaveformGenerator()
+        grid = TimeGrid(1)
+        tr = gen.generate(grid)
+        peak_index = int(np.argmax(tr.v))
+        assert peak_index == pytest.approx(grid.samples_per_period / 2, abs=2)
+
+    def test_asymmetry_moves_the_peak(self):
+        params = OscillatorParameters(slope_asymmetry=0.2)
+        grid = TimeGrid(1)
+        tr = TriangularWaveformGenerator(params).generate(grid)
+        peak_index = int(np.argmax(tr.v))
+        # Rising portion takes 60 % of the period.
+        assert peak_index == pytest.approx(0.6 * grid.samples_per_period, abs=2)
+
+    def test_asymmetry_preserves_period(self):
+        params = OscillatorParameters(slope_asymmetry=0.3)
+        tr = TriangularWaveformGenerator(params).generate(TimeGrid(16))
+        assert tr.fundamental_frequency() == pytest.approx(8000.0, rel=1e-2)
+
+    def test_extreme_asymmetry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OscillatorParameters(slope_asymmetry=0.95)
+
+    def test_oscillator_ignores_grid_frequency(self):
+        # The silicon oscillator free-runs at its R·C rate regardless of
+        # what the digital side assumes — model that faithfully.
+        gen = TriangularWaveformGenerator(OscillatorParameters(resistance=25e6))
+        grid = TimeGrid(4, frequency_hz=8000.0)
+        tr = gen.generate(grid)
+        assert tr.fundamental_frequency() == pytest.approx(4000.0, rel=0.05)
