@@ -1,12 +1,26 @@
 # Convenience targets for the compass reproduction.
 
-.PHONY: install test bench bench-tables examples datasheet floorplan all
+.PHONY: install test lint bench bench-tables examples datasheet floorplan all
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Lint/type-check when the tools are available (pip install -e .[lint]);
+# skip gracefully on bare environments so `make all` stays runnable.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install -e .[lint])"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "lint: mypy not installed, skipping (pip install -e .[lint])"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -27,4 +41,4 @@ datasheet:
 floorplan:
 	python -m repro floorplan
 
-all: install test bench
+all: install lint test bench

@@ -7,20 +7,35 @@ pole."
 
 This bench sweeps the horizontal field magnitude across (and slightly
 beyond) the paper's worldwide range and reports the heading-error
-statistics at each point.
+statistics at each point.  All magnitudes run as one fused batch through
+the batch engine — bit-identical to the scalar ``magnitude_sweep`` loop.
 """
 
 import pytest
 
 from conftest import emit
-from repro.core.accuracy import magnitude_sweep
-from repro.core.compass import IntegratedCompass
+from repro.batch import BatchCompass
+from repro.core.accuracy import SweepPoint, sweep_stats
+from repro.core.heading import headings_evenly_spaced
 
 
 def run_magnitude_sweep():
-    compass = IntegratedCompass()
     magnitudes = [25e-6, 35e-6, 45e-6, 55e-6, 65e-6]
-    return magnitude_sweep(compass, magnitudes, n_headings=16)
+    n_headings = 16
+    headings = headings_evenly_spaced(n_headings, 0.5)
+    grouped = BatchCompass().sweep_magnitudes(magnitudes, n_headings=n_headings)
+    return [
+        (
+            magnitude,
+            sweep_stats(
+                [
+                    SweepPoint(true_heading, m.heading_deg)
+                    for true_heading, m in zip(headings, measurements)
+                ]
+            ),
+        )
+        for magnitude, measurements in grouped
+    ]
 
 
 def test_mag1_field_magnitude_insensitivity(benchmark):

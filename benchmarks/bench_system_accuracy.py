@@ -6,19 +6,25 @@ Simulations indicate that an accuracy within one degree is possible."
 This bench runs the complete closed loop — field projection, multiplexed
 excitation, fluxgate physics, pulse-position detection, up-down counting,
 CORDIC — over a full-circle sweep and reports the error distribution.
+The sweep goes through the batch engine (bit-identical to the scalar
+``heading_sweep`` loop; see BENCH_sweep.json for the speedup record).
 """
 
 import pytest
 
 from conftest import emit
-from repro.core.accuracy import heading_sweep, sweep_stats
-from repro.core.compass import IntegratedCompass
+from repro.batch import BatchCompass
+from repro.core.accuracy import SweepPoint, sweep_stats
+from repro.core.heading import headings_evenly_spaced
 
 
 def run_sweep():
-    compass = IntegratedCompass()
-    points = heading_sweep(compass, n_points=36, start_deg=0.5)
-    return points
+    headings = headings_evenly_spaced(36, 0.5)
+    measurements = BatchCompass().sweep_headings(headings)
+    return [
+        SweepPoint(true_heading, m.heading_deg)
+        for true_heading, m in zip(headings, measurements)
+    ]
 
 
 def test_acc1_system_accuracy(benchmark):

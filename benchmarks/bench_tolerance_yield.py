@@ -3,7 +3,8 @@
 Extension experiment quantifying §6's "designed to broad specifications":
 Monte-Carlo over 1 %-class passives, 2 mV comparator offsets, 5 % sensor
 HK spread and assembly-grade pair mismatch, testing each sampled unit on
-a turntable sweep.
+a turntable sweep (each unit's sweep runs through the batch engine via
+``measure_unit``).
 """
 
 import dataclasses

@@ -17,7 +17,9 @@ budget enters the timing chain.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +80,33 @@ class Comparator:
 
     def __init__(self, params: ComparatorParameters):
         self.params = params
+        self._code_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._batch_scratch: Dict[
+            Tuple[int, int],
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        ] = {}
+
+    def _batch_buffers(
+        self, shape: Tuple[int, int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Persistent per-shape scratch for :meth:`falling_edges_batch`.
+
+        ``(forced_high, forced_low, encoded, parity, fall)`` —
+        reallocating these multi-megabyte temporaries per chunk costs
+        kernel page faults; none of them escape the method, so reuse is
+        safe.
+        """
+        buffers = self._batch_scratch.get(shape)
+        if buffers is None:
+            buffers = (
+                np.empty(shape, dtype=bool),
+                np.empty(shape, dtype=bool),
+                np.empty(shape, dtype=np.int32),
+                np.empty(shape, dtype=np.int8),
+                np.empty((shape[0], shape[1] - 1), dtype=bool),
+            )
+            self._batch_scratch[shape] = buffers
+        return buffers
 
     def _states(self, v: np.ndarray) -> np.ndarray:
         """Vectorised Schmitt-trigger state per sample (0/1)."""
@@ -130,6 +159,78 @@ class Comparator:
         """Times at which the output releases low [s]."""
         return self._edge_times(signal, -1)
 
+    # -- batched path (repro.batch) -------------------------------------------
+
+    def _codes(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-column event codes for the parity-accumulate state machine."""
+        cached = self._code_cache.get(n)
+        if cached is None:
+            # Odd codes mark a "forced high" sample, even codes "forced
+            # low"; later columns always carry larger codes, so a running
+            # maximum yields the most recent forcing event and its parity
+            # is the Schmitt-trigger state — one accumulate replaces the
+            # scalar searchsorted forward-fill.  int32 comfortably holds
+            # 2n+3 and halves the matrix memory traffic.
+            set_codes = (2 * np.arange(n, dtype=np.int64) + 3).astype(np.int32)
+            reset_codes = set_codes - np.int32(1)
+            self._code_cache = {n: (set_codes, reset_codes)}
+            cached = (set_codes, reset_codes)
+        return cached
+
+    def falling_edges_batch(
+        self, values: np.ndarray, times: np.ndarray, negate: bool = False
+    ) -> List[np.ndarray]:
+        """Batched :meth:`falling_edges` over an ``(N, n_samples)`` matrix.
+
+        Each row is an independent waveform sharing the ``times`` axis;
+        the result is one edge-time array per row, bit-identical to the
+        scalar path.  ``negate=True`` evaluates the comparator on ``-v``
+        without materialising the negated matrix (the pulse-position
+        detector's negative comparator watches the inverted pickup).
+        """
+        p = self.params
+        V = values
+        if V.ndim != 2 or V.shape[1] != times.size:
+            raise ConfigurationError(
+                "falling_edges_batch needs an (N, n_samples) matrix on the "
+                "shared time axis"
+            )
+        set_codes, reset_codes = self._codes(times.size)
+        forced_high, forced_low, encoded, parity, fall = self._batch_buffers(V.shape)
+        if negate:
+            np.less(V, -p.trip_level, out=forced_high)
+            np.greater(V, -p.release_level, out=forced_low)
+        else:
+            np.greater(V, p.trip_level, out=forced_high)
+            np.less(V, p.release_level, out=forced_low)
+        # bool × int32 is the masked select: reset code where forced low,
+        # zero elsewhere (bit-identical to np.where, without allocating).
+        np.multiply(forced_low, reset_codes, out=encoded)
+        np.copyto(encoded, np.broadcast_to(set_codes, encoded.shape), where=forced_high)
+        np.maximum.accumulate(encoded, axis=1, out=encoded)
+        # The parity (state) is 0/1, so narrowing to int8 is exact and
+        # quarters the memory traffic of the edge-detection compare.
+        np.bitwise_and(encoded, 1, out=parity)
+        # A falling edge is a 1 → 0 state transition between columns.
+        np.greater(parity[:, :-1], parity[:, 1:], out=fall)
+        # flatnonzero on the contiguous view is a single pass — an order
+        # of magnitude faster than 2-D nonzero for these sparse edges.
+        rows, cols = divmod(np.flatnonzero(fall.ravel()), fall.shape[1])
+        v0 = V[rows, cols]
+        v1 = V[rows, cols + 1]
+        if negate:
+            v0 = -v0
+            v1 = -v1
+        t0 = times[cols]
+        t1 = times[cols + 1]
+        level = p.release_level
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(v1 != v0, (level - v0) / (v1 - v0), 0.0)
+        frac = np.clip(frac, 0.0, 1.0)
+        edge_times = t0 + frac * (t1 - t0) + p.delay
+        splits = np.searchsorted(rows, np.arange(1, V.shape[0]))
+        return np.split(edge_times, splits)
+
 
 class PickupAmplifier:
     """Gain stage between the pickup coil and the comparators.
@@ -140,6 +241,11 @@ class PickupAmplifier:
         Voltage gain [V/V].
     budget:
         Noise budget; white + flicker noise is injected input-referred.
+        Every :meth:`amplify` call draws a *fresh* noise realization from
+        a persistent stream (``SeedSequence((seed, draw_index))``), so the
+        two multiplexed channels and successive measurements see
+        statistically independent noise while the whole run stays
+        reproducible from ``seed``.
     seed:
         RNG seed for reproducible noise.
     bandwidth_hz:
@@ -166,18 +272,57 @@ class PickupAmplifier:
         self.budget = budget
         self.bandwidth_hz = bandwidth_hz
         self._seed = seed
+        self._noise_draws = 0
+
+    # -- noise stream ---------------------------------------------------------
+
+    @property
+    def noise_draws(self) -> int:
+        """Number of noise realizations drawn so far (the stream position)."""
+        return self._noise_draws
+
+    def noise_realization(
+        self, n: int, sample_rate: float, draw_index: int
+    ) -> np.ndarray:
+        """The ``draw_index``-th input-referred noise realization [V].
+
+        Realizations are independent across draw indices but fully
+        determined by ``(seed, draw_index)`` — the batch engine uses this
+        for random access into the same stream the scalar path consumes
+        sequentially.
+        """
+        generator = NoiseGenerator(
+            self.budget,
+            sample_rate,
+            np.random.SeedSequence((self._seed, draw_index)),
+        )
+        return generator.voltage_noise(n)
+
+    def consume_noise_draws(self, count: int) -> int:
+        """Advance the stream position by ``count`` draws; returns the old
+        position (the base index of the consumed block)."""
+        if count < 0:
+            raise ConfigurationError("cannot consume a negative draw count")
+        base = self._noise_draws
+        self._noise_draws += count
+        return base
+
+    # -- signal path ----------------------------------------------------------
 
     def _lowpass(self, values: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Single-pole band limit; accepts 1-D or (N, n_samples) input."""
         if self.bandwidth_hz is None or self.bandwidth_hz >= sample_rate / 2.0:
             return values
-        import math
-
         from scipy.signal import lfilter, lfilter_zi
 
         alpha = math.exp(-2.0 * math.pi * self.bandwidth_hz / sample_rate)
         b, a = [1.0 - alpha], [1.0, -alpha]
-        zi = lfilter_zi(b, a) * values[0]
-        out, _ = lfilter(b, a, values, zi=zi)
+        if values.ndim == 1:
+            zi = lfilter_zi(b, a) * values[0]
+            out, _ = lfilter(b, a, values, zi=zi)
+        else:
+            zi = lfilter_zi(b, a) * values[:, :1]
+            out, _ = lfilter(b, a, values, axis=-1, zi=zi)
         return out
 
     def amplify(self, signal: Trace) -> Trace:
@@ -185,7 +330,40 @@ class PickupAmplifier:
         if self.budget.is_noiseless:
             filtered = self._lowpass(signal.v, signal.sample_rate)
             return Trace(signal.t, filtered * self.gain)
-        generator = NoiseGenerator(self.budget, signal.sample_rate, self._seed)
-        noise = generator.voltage_noise(len(signal))
+        draw = self.consume_noise_draws(1)
+        noise = self.noise_realization(len(signal), signal.sample_rate, draw)
         filtered = self._lowpass(signal.v + noise, signal.sample_rate)
         return Trace(signal.t, filtered * self.gain)
+
+    def amplify_batch(
+        self,
+        values: np.ndarray,
+        sample_rate: float,
+        draw_indices: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Amplify an ``(N, n_samples)`` matrix of pickup waveforms.
+
+        ``draw_indices`` assigns one noise-stream index per row so a batch
+        can replicate exactly the draws a scalar call sequence would have
+        made (it does **not** advance the stream — the caller accounts for
+        the block with :meth:`consume_noise_draws`).  Ignored for a
+        noiseless budget.
+        """
+        if values.ndim != 2:
+            raise ConfigurationError("amplify_batch needs an (N, n_samples) matrix")
+        if not self.budget.is_noiseless:
+            if draw_indices is None or len(draw_indices) != values.shape[0]:
+                raise ConfigurationError(
+                    "amplify_batch needs one noise draw index per row"
+                )
+            values = values + np.stack(
+                [
+                    self.noise_realization(values.shape[1], sample_rate, index)
+                    for index in draw_indices
+                ]
+            )
+        filtered = self._lowpass(values, sample_rate)
+        if filtered is values:
+            return filtered * self.gain
+        filtered *= self.gain
+        return filtered

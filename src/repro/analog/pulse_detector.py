@@ -170,6 +170,16 @@ class PulsePositionDetector:
         inverted = amplified_pickup.scaled(-1.0)
         set_times = self.comparator_positive.falling_edges(amplified_pickup)
         reset_times = self.comparator_negative.falling_edges(inverted)
+        window = (float(amplified_pickup.t[0]), float(amplified_pickup.t[-1]))
+        return self._assemble(set_times, reset_times, window)
+
+    def _assemble(
+        self,
+        set_times: np.ndarray,
+        reset_times: np.ndarray,
+        window: Tuple[float, float],
+    ) -> DetectorOutput:
+        """SR-latch the comparator edge streams into a detector output."""
         if set_times.size == 0 and reset_times.size == 0:
             raise ConfigurationError(
                 "pulse-position detector saw no pulses above "
@@ -193,8 +203,28 @@ class PulsePositionDetector:
         return DetectorOutput(
             edges=tuple(deduped),
             initial_value=initial,
-            window=(float(amplified_pickup.t[0]), float(amplified_pickup.t[-1])),
+            window=window,
         )
+
+    def detect_batch(
+        self, amplified: np.ndarray, times: np.ndarray
+    ) -> List[DetectorOutput]:
+        """Run the detector over ``(N, n_samples)`` amplified waveforms.
+
+        All rows share the ``times`` axis; the outputs are bit-identical
+        to running :meth:`detect` on each row separately.  The negative
+        comparator is evaluated on the negated thresholds instead of a
+        materialised ``-amplified`` matrix.
+        """
+        sets = self.comparator_positive.falling_edges_batch(amplified, times)
+        resets = self.comparator_negative.falling_edges_batch(
+            amplified, times, negate=True
+        )
+        window = (float(times[0]), float(times[-1]))
+        return [
+            self._assemble(set_times, reset_times, window)
+            for set_times, reset_times in zip(sets, resets)
+        ]
 
     @staticmethod
     def hardware_cost() -> dict:

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Tuple
 
 from ..analog.frontend import AnalogFrontEnd, FrontEndConfig
 from ..analog.mux import MeasurementSchedule
+from ..analog.pulse_detector import DetectorOutput
 from ..digital.backend import DigitalBackEnd
 from ..digital.counter import CounterConfig
 from ..digital.display import DisplayFrame, DisplayMode
@@ -129,27 +131,52 @@ class IntegratedCompass:
         )
         self.front_end.disable()
 
+        return self.assemble_measurement(
+            meas_x.detector_output, meas_y.detector_output, count_window
+        )
+
+    def assemble_measurement(
+        self,
+        detector_x: DetectorOutput,
+        detector_y: DetectorOutput,
+        count_window: Tuple[float, float],
+    ) -> HeadingMeasurement:
+        """Digital back-end pass: detector outputs → heading record.
+
+        Shared by the scalar path and :class:`repro.batch.BatchCompass`,
+        so both assemble measurements through identical arithmetic.
+        """
         result = self.back_end.process_measurement(
-            meas_x.detector_output,
-            meas_y.detector_output,
+            detector_x,
+            detector_y,
             window_x=count_window,
             window_y=count_window,
         )
         # The counter pair also encodes the field *magnitude*:
         # |count| = ticks · |H| / Ha.  The arctangent discards it, but it
-        # is free diagnostic information (see repro.core.anomaly).
-        ticks = result.x_result.total_ticks
+        # is free diagnostic information (see repro.core.anomaly).  Each
+        # count is normalised by its *own* channel's tick total — the
+        # windows may legitimately differ.
+        x_ticks = result.x_result.total_ticks
+        y_ticks = result.y_result.total_ticks
+        if x_ticks == 0 or y_ticks == 0:
+            raise ConfigurationError(
+                "degenerate counting window: zero counter ticks on channel "
+                f"{'x' if x_ticks == 0 else 'y'}; widen the window or slow "
+                "the measurement schedule"
+            )
         amplitude = self.config.front_end.excitation.current_amplitude
         h_amp = self.config.sensor.excitation_coil_constant * amplitude
-        field_estimate = (
-            math.hypot(result.x_count, result.y_count) * h_amp / ticks
+        field_estimate = math.hypot(
+            result.x_count * h_amp / x_ticks,
+            result.y_count * h_amp / y_ticks,
         )
         return HeadingMeasurement(
             heading_deg=result.heading_deg,
             x_count=result.x_count,
             y_count=result.y_count,
-            duty_x=meas_x.detector_output.duty_cycle(),
-            duty_y=meas_y.detector_output.duty_cycle(),
+            duty_x=detector_x.duty_cycle(),
+            duty_y=detector_y.duty_cycle(),
             measurement_time_s=self.back_end.controller.measurement_duration(),
             cordic_cycles=result.cordic_cycles,
             field_estimate_a_per_m=field_estimate,

@@ -18,7 +18,7 @@ schedule.  Benches MUX1 and GATE1 print the comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from ..analog.mux import MeasurementSchedule
 from ..digital.control import CompassController
@@ -146,7 +146,7 @@ class PowerModel:
 
     def __init__(
         self,
-        blocks: Dict[str, BlockPower] = None,
+        blocks: Optional[Dict[str, BlockPower]] = None,
         supply_voltage: float = SUPPLY_VOLTAGE,
     ):
         if supply_voltage <= 0.0:

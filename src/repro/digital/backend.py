@@ -66,8 +66,8 @@ class DigitalBackEnd:
         self,
         detector_x: DetectorOutput,
         detector_y: DetectorOutput,
-        window_x: Tuple[float, float] = None,
-        window_y: Tuple[float, float] = None,
+        window_x: Optional[Tuple[float, float]] = None,
+        window_y: Optional[Tuple[float, float]] = None,
     ) -> BackEndResult:
         """Count both channels and compute the heading.
 

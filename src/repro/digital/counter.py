@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..analog.pulse_detector import DetectorOutput
 from ..errors import ConfigurationError
@@ -116,7 +116,7 @@ class UpDownCounter:
     def count_window(
         self,
         detector: DetectorOutput,
-        window: Tuple[float, float] = None,
+        window: Optional[Tuple[float, float]] = None,
     ) -> CountResult:
         """Integrate the detector output over a window.
 

@@ -9,6 +9,7 @@ a settable alarm and a stopwatch: the feature set of a 1997 compass watch.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ConfigurationError, ProtocolError
 from ..units import COUNTER_CLOCK_HZ
@@ -144,7 +145,7 @@ class WatchTimekeeper:
         self.crystal_hz = crystal_hz
         self.divider = RippleDivider()
         self.time = TimeOfDay()
-        self.alarm_time: TimeOfDay = None
+        self.alarm_time: Optional[TimeOfDay] = None
         self.alarm_fired = False
         self.stopwatch = Stopwatch(crystal_hz)
 

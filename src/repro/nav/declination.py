@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..physics.earth_field import DipoleEarthField
@@ -59,7 +59,7 @@ class DeclinationTable:
         lat_step_deg: float = 10.0,
         lon_step_deg: float = 15.0,
         lat_limit_deg: float = 60.0,
-        model: DipoleEarthField = None,
+        model: Optional[DipoleEarthField] = None,
     ):
         if lat_step_deg <= 0.0 or lon_step_deg <= 0.0:
             raise ConfigurationError("grid steps must be positive")

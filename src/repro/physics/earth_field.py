@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..units import MU_0, tesla_to_a_per_m
@@ -215,7 +215,7 @@ LOCATIONS: Dict[str, Tuple[float, float]] = {
 }
 
 
-def field_at_location(name: str, model: DipoleEarthField = None) -> FieldVector:
+def field_at_location(name: str, model: Optional[DipoleEarthField] = None) -> FieldVector:
     """Look up a preset location and evaluate the dipole model there."""
     if name not in LOCATIONS:
         known = ", ".join(sorted(LOCATIONS))

@@ -79,6 +79,16 @@ class MagnetisationModel:
         """``B(H)`` [T] for field strength ``h`` [A/m]."""
         raise NotImplementedError
 
+    def flux_density_into(self, h: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``B(H)`` written into ``out`` (which may alias ``h``).
+
+        Same values as :meth:`flux_density`; models override this to skip
+        temporaries when the batch engine evaluates multi-megabyte field
+        matrices.  ``out`` must have ``h``'s shape and float dtype.
+        """
+        np.copyto(out, self.flux_density(h))
+        return out
+
     def differential_permeability(self, h: np.ndarray) -> np.ndarray:
         """``dB/dH`` [T·m/A] for field strength ``h`` [A/m]."""
         raise NotImplementedError
@@ -100,6 +110,13 @@ class PiecewiseLinearCore(MagnetisationModel):
         slope = p.saturation_flux_density / p.anisotropy_field
         return np.clip(h * slope, -p.saturation_flux_density, p.saturation_flux_density)
 
+    def flux_density_into(self, h, out):
+        p = self.params
+        slope = p.saturation_flux_density / p.anisotropy_field
+        np.multiply(h, slope, out=out)
+        np.clip(out, -p.saturation_flux_density, p.saturation_flux_density, out=out)
+        return out
+
     def differential_permeability(self, h):
         p = self.params
         h = np.asarray(h, dtype=float)
@@ -119,6 +136,13 @@ class TanhCore(MagnetisationModel):
         p = self.params
         h = np.asarray(h, dtype=float)
         return p.saturation_flux_density * np.tanh(h / p.anisotropy_field)
+
+    def flux_density_into(self, h, out):
+        p = self.params
+        np.divide(h, p.anisotropy_field, out=out)
+        np.tanh(out, out=out)
+        out *= p.saturation_flux_density
+        return out
 
     def differential_permeability(self, h):
         p = self.params

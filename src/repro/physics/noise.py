@@ -18,10 +18,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
 from ..errors import ConfigurationError
+
+#: Anything ``np.random.default_rng`` accepts as deterministic seed material.
+Seed = Union[int, np.random.SeedSequence]
 
 #: Boltzmann constant [J/K].
 BOLTZMANN = 1.380649e-23
@@ -95,7 +99,7 @@ def thermal_noise_density(resistance: float, temperature_k: float = 300.0) -> fl
 class NoiseGenerator:
     """Deterministic sampled-noise generator for a :class:`NoiseBudget`."""
 
-    def __init__(self, budget: NoiseBudget, sample_rate_hz: float, seed: int = 0):
+    def __init__(self, budget: NoiseBudget, sample_rate_hz: float, seed: Seed = 0):
         if sample_rate_hz <= 0.0:
             raise ConfigurationError("sample rate must be positive")
         self.budget = budget

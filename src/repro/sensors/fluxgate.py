@@ -32,12 +32,13 @@ so the up-down counter integrates to a count proportional to ``H_ext``
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..physics.magnetics import MagnetisationModel, make_core
-from ..simulation.signals import Trace
+from ..simulation.signals import TimeGradient, Trace
 from .parameters import FluxgateParameters
 
 
@@ -84,6 +85,9 @@ class FluxgateSensor:
         self.params = params
         self.core: MagnetisationModel = make_core(core_model, params.core)
         self.core_model_name = core_model
+        self._batch_scratch: Dict[
+            Tuple[int, int], Tuple[np.ndarray, np.ndarray]
+        ] = {}
 
     # -- elementary transforms -------------------------------------------------
 
@@ -132,6 +136,59 @@ class FluxgateSensor:
             pickup_voltage=pickup,
             excitation_voltage=excitation_voltage,
         )
+
+    def simulate_batch(
+        self,
+        current: Trace,
+        h_external: np.ndarray,
+        gradient: Optional[TimeGradient] = None,
+    ) -> np.ndarray:
+        """Pickup voltages for a batch of external fields, ``(N, n_samples)``.
+
+        Row ``i`` is bit-identical to
+        ``simulate(current, h_external[i]).pickup_voltage.v``; the other
+        :class:`SensorWaveforms` members (excitation voltage, di/dt) are
+        not computed — the measurement chain only consumes the pickup.
+        Only stateless (anhysteretic) cores support batching: a hysteretic
+        core integrates sample-by-sample and rows would contaminate each
+        other.
+
+        The returned matrix lives in a sensor-owned scratch buffer that
+        the *next* ``simulate_batch`` call with the same shape overwrites
+        — consume (or copy) it before batching again.
+
+        Parameters
+        ----------
+        current:
+            Shared excitation current trace [A].
+        h_external:
+            External field per row [A/m], shape ``(N,)``.
+        gradient:
+            Optional precomputed :class:`TimeGradient` for ``current.t``
+            (built on the fly when omitted).
+        """
+        if self.core.is_hysteretic:
+            raise ConfigurationError(
+                f"core model {self.core_model_name!r} is hysteretic "
+                "(stateful); simulate_batch supports anhysteretic cores only"
+            )
+        p = self.params
+        h = np.asarray(h_external, dtype=float)
+        if h.ndim != 1:
+            raise ConfigurationError("h_external must be a 1-D array of fields")
+        shape = (h.size, current.t.size)
+        scratch = self._batch_scratch.get(shape)
+        if scratch is None:
+            scratch = (np.empty(shape), np.empty(shape))
+            self._batch_scratch[shape] = scratch
+        h_total, deriv = scratch
+        np.add(current.v * p.excitation_coil_constant, h[:, None], out=h_total)
+        b = self.core.flux_density_into(h_total, out=h_total)
+        if gradient is None:
+            gradient = TimeGradient(current.t)
+        db_dt = gradient.apply(b, out=deriv)
+        db_dt *= p.pickup_turns * p.core_area
+        return db_dt
 
     # -- analytic helpers (used as test oracles) -------------------------------
 

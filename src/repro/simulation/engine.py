@@ -144,16 +144,17 @@ class SimulationEngine:
         """Run ``stages`` in order, feeding each the previous output.
 
         Returns the final trace; all intermediates are available via
-        :attr:`probes`.
+        :attr:`probes`.  Input validation happens *before* any stage runs,
+        so a rejected call leaves the probe board untouched.
         """
+        stage_list = list(stages)
+        if not stage_list:
+            raise ConfigurationError("run_chain needs at least one stage")
         trace = source
-        ran_any = False
-        for name, block in stages:
+        for name, block in stage_list:
             trace = block(self.grid, trace)
             if not isinstance(trace, Trace):
                 raise ConfigurationError(f"stage {name!r} did not return a Trace")
             self.probes.record(name, trace)
-            ran_any = True
-        if not ran_any or trace is None:
-            raise ConfigurationError("run_chain needs at least one stage")
+        assert trace is not None  # stage_list is non-empty and each stage returned a Trace
         return trace

@@ -17,7 +17,7 @@ quantiser is the 4.194304 MHz counter clock, modelled separately in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -201,6 +201,83 @@ class Trace:
         sin_corr = integrate(sub.v * np.sin(omega * sub.t), sub.t)
         span = sub.duration
         return float(2.0 * np.hypot(cos_corr, sin_corr) / span)
+
+
+class TimeGradient:
+    """Reusable ``d/dt`` operator for waveform batches on one time axis.
+
+    ``np.gradient(v, t)`` re-derives its finite-difference coefficients
+    from ``t`` on every call; for a batch of waveforms sharing a time axis
+    that work is identical each time.  This precomputes the coefficients
+    once and applies them to an ``(N, n_samples)`` matrix row-wise,
+    reproducing ``np.gradient``'s arithmetic (including its uniform-spacing
+    fast path and ``edge_order=1`` endpoints) bit-for-bit.
+    """
+
+    def __init__(self, t: np.ndarray):
+        t = np.asarray(t, dtype=float)
+        if t.ndim != 1 or t.size < 2:
+            raise ConfigurationError("gradient needs a 1-D time axis of >= 2 samples")
+        dx = np.diff(t)
+        if not np.all(dx > 0.0):
+            raise ConfigurationError("time axis must be strictly increasing")
+        self.t = t
+        self._dx = dx
+        self._uniform = bool(np.all(dx == dx[0]))
+        if not self._uniform and t.size >= 3:
+            dx1, dx2 = dx[:-1], dx[1:]
+            self._a = -dx2 / (dx1 * (dx1 + dx2))
+            self._b = (dx2 - dx1) / (dx1 * dx2)
+            self._c = dx1 / (dx2 * (dx1 + dx2))
+        self._tmp: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def _interior_tmp(self, shape: Tuple[int, int]) -> np.ndarray:
+        """Persistent scratch for the interior-stencil products.
+
+        Fresh multi-megabyte temporaries cost kernel page faults on every
+        call; the scratch never escapes this class, so reuse is safe.
+        """
+        tmp = self._tmp.get(shape)
+        if tmp is None:
+            tmp = np.empty((shape[0], shape[1] - 2))
+            self._tmp[shape] = tmp
+        return tmp
+
+    def apply(
+        self, values: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Time derivative of each row of ``values`` (``(N, n)`` or ``(n,)``).
+
+        ``out`` optionally receives the result in place (the batch engine
+        passes a persistent buffer to avoid reallocating per chunk).
+        """
+        V = np.asarray(values, dtype=float)
+        squeeze = V.ndim == 1
+        if squeeze:
+            V = V[None, :]
+        if V.ndim != 2 or V.shape[1] != self.t.size:
+            raise ConfigurationError("values do not match the gradient's time axis")
+        dx = self._dx
+        if out is None:
+            out = np.empty_like(V)
+        elif out.shape != V.shape:
+            raise ConfigurationError("gradient output buffer has the wrong shape")
+        if V.shape[1] == 2:
+            out[:, 0] = out[:, 1] = (V[:, 1] - V[:, 0]) / dx[0]
+        elif self._uniform:
+            out[:, 1:-1] = (V[:, 2:] - V[:, :-2]) / (2.0 * dx[0])
+            out[:, 0] = (V[:, 1] - V[:, 0]) / dx[0]
+            out[:, -1] = (V[:, -1] - V[:, -2]) / dx[-1]
+        else:
+            tmp = self._interior_tmp(V.shape)
+            np.multiply(self._a, V[:, :-2], out=out[:, 1:-1])
+            np.multiply(self._b, V[:, 1:-1], out=tmp)
+            out[:, 1:-1] += tmp
+            np.multiply(self._c, V[:, 2:], out=tmp)
+            out[:, 1:-1] += tmp
+            out[:, 0] = (V[:, 1] - V[:, 0]) / dx[0]
+            out[:, -1] = (V[:, -1] - V[:, -2]) / dx[-1]
+        return out[0] if squeeze else out
 
 
 @dataclass(frozen=True)

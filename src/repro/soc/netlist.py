@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import ConfigurationError
 from ..units import OSCILLATOR_CAPACITANCE
@@ -200,7 +200,7 @@ class CompassNetlist:
 
     # -- placement ---------------------------------------------------------------
 
-    def place(self, array: FishboneSoG = None) -> FishboneSoG:
+    def place(self, array: Optional[FishboneSoG] = None) -> FishboneSoG:
         """Place the netlist the way the paper describes.
 
         Digital blocks fill quarters 0–2; the analogue front-end goes in

@@ -101,6 +101,19 @@ class TestSimulationEngine:
         with pytest.raises(ConfigurationError):
             engine.run_chain([])
 
+    def test_rejected_chain_leaves_probes_untouched(self):
+        # Validation runs before any stage: a rejected call must not
+        # leave partial traces on the probe board.
+        engine = SimulationEngine(TimeGrid(1, samples_per_period=64))
+        with pytest.raises(ConfigurationError):
+            engine.run_chain(iter(()))
+        assert engine.probes.names() == []
+
+    def test_empty_generator_rejected_like_empty_list(self):
+        engine = SimulationEngine(TimeGrid(1, samples_per_period=64))
+        with pytest.raises(ConfigurationError, match="at least one stage"):
+            engine.run_chain(stage for stage in [])
+
     def test_non_trace_stage_rejected(self):
         engine = SimulationEngine(TimeGrid(1, samples_per_period=64))
         with pytest.raises(ConfigurationError, match="did not return a Trace"):
