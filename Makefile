@@ -1,6 +1,6 @@
 # Convenience targets for the compass reproduction.
 
-.PHONY: install test lint bench bench-tables examples datasheet floorplan all
+.PHONY: install test lint bench bench-tables examples datasheet floorplan faults all
 
 install:
 	pip install -e . || python setup.py develop
@@ -34,6 +34,11 @@ examples:
 		python $$script || exit 1; \
 		echo; \
 	done
+
+# Fault-injection smoke campaign (<30 s): every registered fault through
+# the scalar + batch + scan paths; exits nonzero on any silent-wrong cell.
+faults:
+	PYTHONPATH=src python -m repro faults --json BENCH_faults.json
 
 datasheet:
 	python -m repro datasheet

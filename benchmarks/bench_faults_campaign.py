@@ -1,0 +1,73 @@
+"""FAULT1 — fault-campaign coverage and silent-wrong record.
+
+The campaign engine (``repro.faults``) sweeps every registered fault
+across (severity × heading) through the scalar and batch measurement
+paths plus the boundary-scan probe, classifying each cell as detected,
+degraded, benign, or silent-wrong.  This bench is the standing record of
+the robustness claim: **zero silent-wrong cells** — no fault anywhere in
+the taxonomy makes the compass report an unflagged heading more than 1°
+from the truth.  The full record is written to ``BENCH_faults.json`` at
+the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+from repro.faults import FaultCampaign, REGISTRY
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+
+def run_campaign():
+    campaign = FaultCampaign()
+    t0 = time.perf_counter()
+    result = campaign.run()
+    elapsed = time.perf_counter() - t0
+    summary = result.summary()
+    per_fault = {}
+    for spec in REGISTRY.specs():
+        cells = [c for c in result.cells if c.fault == spec.name]
+        per_fault[spec.name] = {
+            "layer": spec.layer,
+            "cells": len(cells),
+            "outcomes": sorted({c.outcome.value for c in cells}),
+            "worst_unflagged_error_deg": max(
+                (c.error_deg for c in cells
+                 if c.error_deg is not None and c.outcome.value == "benign"),
+                default=None,
+            ),
+        }
+    return {
+        "headings_deg": list(campaign.headings_deg),
+        "paths": list(campaign.paths),
+        "elapsed_s": round(elapsed, 2),
+        "cells": summary["cells"],
+        "outcomes": summary["outcomes"],
+        "silent_wrong": summary["silent_wrong"],
+        "nonconforming": summary["nonconforming"],
+        "per_fault": per_fault,
+    }
+
+
+def test_fault1_campaign_record(benchmark):
+    record = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    lines = [
+        f"{'fault':<32} {'layer':<8} {'cells':>5}  outcomes",
+    ]
+    for name, info in record["per_fault"].items():
+        lines.append(
+            f"{name:<32} {info['layer']:<8} {info['cells']:>5}  "
+            + ", ".join(info["outcomes"])
+        )
+    lines.append(
+        f"total {record['cells']} cells in {record['elapsed_s']}s: "
+        + ", ".join(f"{k}={v}" for k, v in record["outcomes"].items())
+    )
+    emit("FAULT1 fault-injection campaign", lines)
+
+    assert record["silent_wrong"] == 0
+    assert record["nonconforming"] == 0

@@ -12,6 +12,7 @@ The package mirrors the paper's system decomposition:
 * :mod:`repro.core` — the integrated compass plus accuracy/power analysis,
 * :mod:`repro.soc` — Sea-of-Gates array and MCM resource models (§2),
 * :mod:`repro.btest` — IEEE 1149.1 boundary-scan test structures [Oli96],
+* :mod:`repro.faults` — fault injection and runtime-health campaigns,
 * :mod:`repro.simulation` — the mixed-signal simulation engine (§5).
 
 Quickstart::
@@ -24,10 +25,13 @@ Quickstart::
 
 from .core.compass import CompassConfig, IntegratedCompass
 from .core.heading import HeadingMeasurement, compass_point
+from .core.health import HealthConfig, HealthReport
 from .errors import (
     CalibrationError,
     ComplianceError,
     ConfigurationError,
+    DegradedOperationError,
+    FaultError,
     ProtocolError,
     ReproError,
     ResourceError,
@@ -40,7 +44,11 @@ __all__ = [
     "CompassConfig",
     "ComplianceError",
     "ConfigurationError",
+    "DegradedOperationError",
+    "FaultError",
     "HeadingMeasurement",
+    "HealthConfig",
+    "HealthReport",
     "IntegratedCompass",
     "ProtocolError",
     "ReproError",

@@ -158,6 +158,16 @@ class BatchCompass:
         cycles, noise draws) to calling the scalar method per pair, in
         order.  Hysteretic cores fall back to exactly that scalar loop —
         their state makes row-parallel evaluation meaningless.
+
+        Failure parity: a broken sensor raises the same typed
+        :class:`~repro.errors.ReproError` subclass the scalar loop
+        raises (asserted by ``tests/test_failure_parity.py``), and every
+        row passes through the compass's
+        :class:`~repro.core.health.HealthSupervisor` exactly like a
+        scalar measurement.  The one scalar-only behaviour is the
+        *single-axis* degradation fallback: a channel failure aborts the
+        whole batch with the typed error instead of degrading row by
+        row, because the failing channel is shared by every row.
         """
         h_x = np.asarray(h_x, dtype=float)
         h_y = np.asarray(h_y, dtype=float)
@@ -177,6 +187,7 @@ class BatchCompass:
         settle_time = schedule.settle_periods * grid.period
         t0, t1 = grid.window()
         count_window = (t0 + settle_time, t1)
+        compass.supervisor.watchdog_guard(grid.n_periods)
 
         front_end = compass.front_end
         amplifier = front_end.amplifier

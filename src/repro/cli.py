@@ -7,7 +7,13 @@ Gives the library a bench-top feel without writing code:
 * ``power`` — the power budget at a given update rate,
 * ``area`` — the Sea-of-Gates floorplan report,
 * ``scan`` — boundary-scan test of the MCM, with optional fault injection,
+* ``faults`` — the fault-injection campaign (``repro.faults``),
 * ``watch`` — advance the watch and render the LCD.
+
+Failures exit with a *typed* code: every :class:`~repro.errors.ReproError`
+subclass maps to its own nonzero exit status (see ``EXIT_CODES``) and
+prints a one-line message instead of a traceback, so shell scripts and CI
+can branch on the failure class.
 """
 
 from __future__ import annotations
@@ -21,9 +27,42 @@ from .core.accuracy import heading_sweep, sweep_stats
 from .core.compass import IntegratedCompass
 from .core.power import PowerModel
 from .digital.display import DisplayMode
+from .errors import (
+    CalibrationError,
+    ComplianceError,
+    ConfigurationError,
+    DegradedOperationError,
+    FaultError,
+    ProtocolError,
+    ReproError,
+    ResourceError,
+)
+from .faults.campaign import DEFAULT_HEADINGS as DEFAULT_CAMPAIGN_HEADINGS
 from .soc.mcm import build_compass_mcm
 from .soc.netlist import CompassNetlist
 from .soc.sea_of_gates import PAIRS_PER_QUARTER
+
+#: Exit code per failure class.  Most-derived first: the mapping is
+#: resolved by MRO walk, so a DegradedOperationError exits 9 even though
+#: it is also a FaultError, a ProtocolError and a ReproError.
+EXIT_CODES = {
+    DegradedOperationError: 9,
+    FaultError: 8,
+    CalibrationError: 7,
+    ResourceError: 6,
+    ProtocolError: 5,
+    ComplianceError: 4,
+    ConfigurationError: 3,
+    ReproError: 10,
+}
+
+
+def exit_code_for(error: ReproError) -> int:
+    """The exit status for a typed failure (most-derived class wins)."""
+    for klass in type(error).__mro__:
+        if klass in EXIT_CODES:
+            return EXIT_CODES[klass]
+    return 1
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
@@ -104,6 +143,36 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0 if passed else 1
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import FaultCampaign
+
+    campaign = FaultCampaign(
+        headings_deg=args.headings,
+        paths=args.paths,
+        faults=args.fault or None,
+    )
+    result = campaign.run()
+    summary = result.summary()
+    for name in summary["faults"]:
+        cells = [c for c in result.cells if c.fault == name]
+        outcomes = sorted({c.outcome.value for c in cells})
+        print(f"  {name:<32} {len(cells):3d} cells  {', '.join(outcomes)}")
+    print(
+        f"{summary['cells']} cells: "
+        + ", ".join(f"{k}={v}" for k, v in summary["outcomes"].items())
+    )
+    if args.json:
+        result.write_json(args.json)
+        print(f"wrote {args.json}")
+    for cell in result.silent_wrong():
+        print(
+            f"SILENT-WRONG: {cell.fault} sev={cell.severity} "
+            f"heading={cell.heading_deg} path={cell.path} ({cell.detail})",
+            file=sys.stderr,
+        )
+    return 0 if not result.silent_wrong() and not result.nonconforming() else 1
+
+
 def _cmd_datasheet(args: argparse.Namespace) -> int:
     from .core.datasheet import generate_datasheet
 
@@ -165,6 +234,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the complement-pass counting sequence")
     p.set_defaults(func=_cmd_scan)
 
+    p = sub.add_parser("faults", help="run the fault-injection campaign")
+    p.add_argument("--headings", type=float, nargs="+",
+                   default=list(DEFAULT_CAMPAIGN_HEADINGS),
+                   help="true headings to sweep per fault cell")
+    p.add_argument("--paths", nargs="+", default=["scalar", "batch"],
+                   choices=["scalar", "batch"],
+                   help="measurement paths to exercise")
+    p.add_argument("--fault", action="append", metavar="NAME",
+                   help="restrict to one registered fault (repeatable)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full campaign record as JSON")
+    p.set_defaults(func=_cmd_faults)
+
     p = sub.add_parser("datasheet", help="generate the measured datasheet")
     p.add_argument("--quick", action="store_true", help="smaller sweeps")
     p.set_defaults(func=_cmd_datasheet)
@@ -182,7 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error ({type(error).__name__}): {error}", file=sys.stderr)
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":

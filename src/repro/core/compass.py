@@ -20,13 +20,14 @@ from ..analog.pulse_detector import DetectorOutput
 from ..digital.backend import DigitalBackEnd
 from ..digital.counter import CounterConfig
 from ..digital.display import DisplayFrame, DisplayMode
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, DegradedOperationError, FaultError, ReproError
 from ..physics.earth_field import FieldVector
 from ..sensors.pair import IDEAL_PAIR, OrthogonalSensorPair, PairImperfections
 from ..sensors.parameters import FluxgateParameters, IDEAL_TARGET
 from ..simulation.engine import TimeGrid
 from ..units import CORDIC_ITERATIONS
 from .heading import HeadingMeasurement
+from .health import HealthConfig, HealthSupervisor
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,7 @@ class CompassConfig:
     counter: CounterConfig = CounterConfig()
     cordic_iterations: int = CORDIC_ITERATIONS
     samples_per_period: int = TimeGrid.DEFAULT_SAMPLES_PER_PERIOD
+    health: HealthConfig = HealthConfig()
 
 
 class IntegratedCompass:
@@ -79,6 +81,10 @@ class IntegratedCompass:
             cordic_iterations=config.cordic_iterations,
             schedule=config.schedule,
         )
+        # The supervisor snapshots its golden references (CORDIC ROM) at
+        # build time, so it must be created after the back-end and before
+        # any fault can be injected.
+        self.supervisor = HealthSupervisor(self, config.health)
         # Fail fast on a sensor the excitation cannot saturate (§2.1.1's
         # measured Kaw95 device) instead of erroring mid-measurement.
         amplitude = config.front_end.excitation.current_amplitude
@@ -121,18 +127,43 @@ class IntegratedCompass:
         settle_time = schedule.settle_periods * grid.period
         t0, t1 = grid.window()
         count_window = (t0 + settle_time, t1)
+        self.supervisor.watchdog_guard(grid.n_periods)
 
+        degrade = self.config.health.enabled and self.config.health.degrade
+        failures = {}
+        outputs = {}
         self.front_end.enable()
-        meas_x = self.front_end.measure_channel(
-            self.sensors.sensor_x, "x", h_x, grid
-        )
-        meas_y = self.front_end.measure_channel(
-            self.sensors.sensor_y, "y", h_y, grid
-        )
-        self.front_end.disable()
+        try:
+            for channel, sensor, h in (
+                ("x", self.sensors.sensor_x, h_x),
+                ("y", self.sensors.sensor_y, h_y),
+            ):
+                try:
+                    meas = self.front_end.measure_channel(sensor, channel, h, grid)
+                    outputs[channel] = meas.detector_output
+                except ReproError as exc:
+                    if not degrade or isinstance(exc, FaultError):
+                        raise
+                    failures[channel] = exc
+        finally:
+            self.front_end.disable()
+
+        if failures:
+            if len(failures) == 2:
+                raise DegradedOperationError(
+                    "both sensor channels failed — no heading can be "
+                    f"produced (x: {failures['x']}; y: {failures['y']})"
+                ) from failures["x"]
+            (dead,) = failures
+            alive = "y" if dead == "x" else "x"
+            fallback = self.supervisor.single_axis_fallback(
+                alive, outputs[alive], count_window, failures[dead]
+            )
+            self.supervisor.observe(fallback)
+            return fallback
 
         return self.assemble_measurement(
-            meas_x.detector_output, meas_y.detector_output, count_window
+            outputs["x"], outputs["y"], count_window
         )
 
     def assemble_measurement(
@@ -171,7 +202,19 @@ class IntegratedCompass:
             result.x_count * h_amp / x_ticks,
             result.y_count * h_amp / y_ticks,
         )
-        return HeadingMeasurement(
+        health = None
+        if self.supervisor.enabled:
+            try:
+                health = self.supervisor.review(
+                    result, detector_x, detector_y, count_window, field_estimate
+                )
+            except FaultError as fault:
+                # strict mode re-raises inside; degrade mode substitutes
+                # the last-known-good heading with staleness metadata.
+                stale = self.supervisor.stale_fallback(fault)
+                self.supervisor.observe(stale)
+                return stale
+        measurement = HeadingMeasurement(
             heading_deg=result.heading_deg,
             x_count=result.x_count,
             y_count=result.y_count,
@@ -180,7 +223,11 @@ class IntegratedCompass:
             measurement_time_s=self.back_end.controller.measurement_duration(),
             cordic_cycles=result.cordic_cycles,
             field_estimate_a_per_m=field_estimate,
+            health=health,
         )
+        if self.supervisor.enabled:
+            self.supervisor.observe(measurement)
+        return measurement
 
     def measure_heading(
         self,

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..units import MU_0, angular_difference_deg, wrap_degrees
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .health import HealthReport
 
 #: The sixteen compass points, clockwise from north.
 COMPASS_POINTS_16 = (
@@ -52,6 +55,11 @@ class HeadingMeasurement:
         Horizontal field magnitude recovered from the counter pair
         [A/m] — free information the arctangent discards, used by the
         disturbance detector (:mod:`repro.core.anomaly`).
+    health:
+        Verdict of the runtime :class:`~repro.core.health.
+        HealthSupervisor`: ``None`` when supervision is disabled, an
+        ``ok`` report on a fully-trusted measurement, a ``degraded``
+        report (flags, fallback path, staleness) otherwise.
     """
 
     heading_deg: float
@@ -62,6 +70,12 @@ class HeadingMeasurement:
     measurement_time_s: float
     cordic_cycles: int
     field_estimate_a_per_m: float = 0.0
+    health: Optional["HealthReport"] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the supervisor flagged this measurement degraded."""
+        return self.health is not None and self.health.degraded
 
     @property
     def field_estimate_tesla(self) -> float:

@@ -39,3 +39,26 @@ class ProtocolError(ReproError):
 
 class CalibrationError(ReproError):
     """Sensor calibration could not be computed from the supplied samples."""
+
+
+class FaultError(ProtocolError):
+    """A runtime health check found the measurement data implausible.
+
+    Raised by the :class:`~repro.core.health.HealthSupervisor` when a
+    per-measurement plausibility check fails: counter ticks outside the
+    scheduled window, counter value inconsistent with the detector duty
+    cycle, missing pulse activity, a corrupted CORDIC ROM, or a field
+    magnitude far outside the worldwide band.  Subclasses
+    :class:`ProtocolError` because a health violation is a runtime
+    protocol breach of the measurement contract — existing handlers that
+    catch :class:`ProtocolError` keep working.
+    """
+
+
+class DegradedOperationError(FaultError):
+    """Graceful degradation was required but no fallback exists.
+
+    Example: both sensor channels failed so not even a single-axis
+    heading can be produced, or a health check failed before any
+    last-known-good heading was recorded.
+    """

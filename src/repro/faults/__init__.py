@@ -1,0 +1,38 @@
+"""repro.faults — systematic fault injection and campaign evaluation.
+
+The paper equips the compass MCM with boundary-scan structures [Oli96]
+because a smart sensor must make its own failures *detectable*.  This
+package turns that philosophy into a test harness for the whole
+reproduction:
+
+* :mod:`repro.faults.model` — a registry of parameterized, injectable
+  faults spanning every layer (sensor coils, analogue front-end, digital
+  datapath, scan chain), implemented as reversible monkey-hooks around
+  live component instances so no production code path changes shape;
+* :mod:`repro.faults.campaign` — a campaign engine that sweeps
+  (fault × severity × heading) grids through the scalar and batch
+  measurement paths and classifies every outcome as *detected*,
+  *degraded*, *benign* or *silent-wrong* — the last being the metric
+  driven to zero.
+
+Quickstart::
+
+    from repro.faults import FaultCampaign
+    result = FaultCampaign().run()
+    print(result.summary())
+    assert not result.silent_wrong()
+"""
+
+from .campaign import CampaignCell, CampaignResult, FaultCampaign, Outcome
+from .model import REGISTRY, FaultRegistry, FaultSpec, registered_faults
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "FaultCampaign",
+    "FaultRegistry",
+    "FaultSpec",
+    "Outcome",
+    "REGISTRY",
+    "registered_faults",
+]

@@ -1,0 +1,297 @@
+"""Fault-injection campaign engine.
+
+Sweeps the registered fault population (:mod:`repro.faults.model`) over a
+(fault × severity × heading) grid, through **both** measurement paths —
+the scalar :class:`~repro.core.compass.IntegratedCompass` loop and the
+vectorized :class:`~repro.batch.BatchCompass` — plus the boundary-scan
+probe for scan-chain faults, and classifies every cell:
+
+``detected``
+    The system raised a typed :class:`~repro.errors.ReproError` — the
+    failure is loud and attributable.
+``degraded``
+    A heading was produced but flagged through its ``health`` record
+    (stale fallback, single-axis fallback, out-of-band field): usable,
+    and honest about it.
+``benign``
+    The heading is unflagged *and* within the paper's 1° accuracy spec
+    of the truth — the fault is below the resolution floor.
+``silent-wrong``
+    An unflagged heading more than 1° wrong.  This is the catastrophic
+    class for a compass — a confident lie — and the campaign's whole
+    purpose is to drive its population count to **zero**.
+
+Each compass is built fresh per (fault, severity, path) with graceful
+degradation enabled, and takes one *clean* warm-up measurement before
+injection so the last-known-good fallback path is armed — matching a
+fielded instrument that fails mid-service rather than at power-on.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..batch import BatchCompass
+from ..btest.interconnect import SubstrateHarness
+from ..core.compass import CompassConfig, IntegratedCompass
+from ..core.health import HealthConfig
+from ..errors import ConfigurationError, ReproError
+from ..soc.mcm import build_compass_mcm
+from ..units import TARGET_ACCURACY_DEG
+from .model import REGISTRY, FaultRegistry, FaultSpec
+
+#: Default heading grid: one per quadrant plus both wrap neighbourhoods.
+DEFAULT_HEADINGS = (0.5, 45.0, 123.0, 222.25, 300.0, 359.5)
+
+
+class Outcome(enum.Enum):
+    """Classification of one campaign cell."""
+
+    DETECTED = "detected"
+    DEGRADED = "degraded"
+    BENIGN = "benign"
+    SILENT_WRONG = "silent-wrong"
+
+
+def heading_error_deg(measured: float, truth: float) -> float:
+    """Absolute circular heading error [degrees]."""
+    return abs((measured - truth + 180.0) % 360.0 - 180.0)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (fault, severity, heading, path) evaluation."""
+
+    fault: str
+    severity: float
+    heading_deg: Optional[float]
+    path: str  # "scalar" | "batch" | "scan"
+    outcome: Outcome
+    error_deg: Optional[float]
+    detail: str
+    conforms: bool  # outcome is in the spec's expected set
+
+    def to_dict(self) -> Dict:
+        record = asdict(self)
+        record["outcome"] = self.outcome.value
+        return record
+
+
+@dataclass
+class CampaignResult:
+    """All cells of one campaign run, with aggregation helpers."""
+
+    cells: List[CampaignCell] = field(default_factory=list)
+
+    def by_outcome(self, outcome: Outcome) -> List[CampaignCell]:
+        return [cell for cell in self.cells if cell.outcome is outcome]
+
+    def silent_wrong(self) -> List[CampaignCell]:
+        """The cells that must not exist: confident wrong headings."""
+        return self.by_outcome(Outcome.SILENT_WRONG)
+
+    def nonconforming(self) -> List[CampaignCell]:
+        """Cells whose outcome falls outside the fault spec's contract."""
+        return [cell for cell in self.cells if not cell.conforms]
+
+    def summary(self) -> Dict:
+        counts = {outcome.value: 0 for outcome in Outcome}
+        for cell in self.cells:
+            counts[cell.outcome.value] += 1
+        return {
+            "cells": len(self.cells),
+            "outcomes": counts,
+            "silent_wrong": len(self.silent_wrong()),
+            "nonconforming": len(self.nonconforming()),
+            "faults": sorted({cell.fault for cell in self.cells}),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "summary": self.summary(),
+                "cells": [cell.to_dict() for cell in self.cells],
+            },
+            indent=2,
+        )
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+class FaultCampaign:
+    """Sweeps registered faults through the measurement and scan paths.
+
+    Parameters
+    ----------
+    headings_deg:
+        True headings evaluated per (fault, severity) cell.
+    field_magnitude_t:
+        Horizontal field for every measurement [T].
+    paths:
+        Measurement paths to exercise; any subset of
+        ``("scalar", "batch")``.  Scan-probe faults ignore this.
+    registry:
+        The fault population; defaults to the built-in registry.
+    faults:
+        Optional subset of fault names to run (default: all registered).
+    tolerance_deg:
+        Unflagged-error threshold separating *benign* from
+        *silent-wrong*; defaults to the paper's 1° accuracy spec.
+    """
+
+    def __init__(
+        self,
+        headings_deg: Sequence[float] = DEFAULT_HEADINGS,
+        field_magnitude_t: float = 50.0e-6,
+        paths: Sequence[str] = ("scalar", "batch"),
+        registry: FaultRegistry = REGISTRY,
+        faults: Optional[Sequence[str]] = None,
+        tolerance_deg: float = TARGET_ACCURACY_DEG,
+    ):
+        if len(headings_deg) == 0:
+            raise ConfigurationError("campaign needs at least one heading")
+        for path in paths:
+            if path not in ("scalar", "batch"):
+                raise ConfigurationError(f"unknown campaign path {path!r}")
+        if not paths:
+            raise ConfigurationError("campaign needs at least one path")
+        self.headings_deg = tuple(float(h) for h in headings_deg)
+        self.field_magnitude_t = field_magnitude_t
+        self.paths = tuple(paths)
+        self.registry = registry
+        self.fault_names = list(faults) if faults is not None else registry.names()
+        self.tolerance_deg = tolerance_deg
+        for name in self.fault_names:
+            registry.get(name)  # fail fast on unknown names
+
+    # -- per-cell machinery ----------------------------------------------------
+
+    @staticmethod
+    def _fresh_compass() -> IntegratedCompass:
+        """A compass with supervision *and* graceful degradation armed."""
+        return IntegratedCompass(
+            CompassConfig(health=HealthConfig(degrade=True))
+        )
+
+    def _classify(
+        self, measurement, truth: float
+    ) -> Tuple[Outcome, Optional[float], str]:
+        error = heading_error_deg(measurement.heading_deg, truth)
+        if measurement.degraded:
+            flags = ",".join(measurement.health.flags) or measurement.health.status
+            return Outcome.DEGRADED, error, f"flagged: {flags}"
+        if error <= self.tolerance_deg:
+            return Outcome.BENIGN, error, f"error {error:.3f} deg within spec"
+        return Outcome.SILENT_WRONG, error, f"UNFLAGGED error {error:.3f} deg"
+
+    def _run_scalar(self, spec: FaultSpec, severity: float) -> List[CampaignCell]:
+        compass = self._fresh_compass()
+        # Arm the last-known-good fallback with one clean measurement.
+        compass.measure_heading(self.headings_deg[0], self.field_magnitude_t)
+        cells = []
+        with self.registry.inject(spec.name, compass, severity):
+            for truth in self.headings_deg:
+                try:
+                    measurement = compass.measure_heading(
+                        truth, self.field_magnitude_t
+                    )
+                except ReproError as exc:
+                    outcome = Outcome.DETECTED
+                    error, detail = None, f"{type(exc).__name__}: {exc}"
+                else:
+                    outcome, error, detail = self._classify(measurement, truth)
+                cells.append(
+                    self._cell(spec, severity, truth, "scalar", outcome, error, detail)
+                )
+        return cells
+
+    def _run_batch(self, spec: FaultSpec, severity: float) -> List[CampaignCell]:
+        compass = self._fresh_compass()
+        batch = BatchCompass(compass)
+        batch.sweep_headings([self.headings_deg[0]], self.field_magnitude_t)
+        cells = []
+        with self.registry.inject(spec.name, compass, severity):
+            try:
+                measurements = batch.sweep_headings(
+                    self.headings_deg, self.field_magnitude_t
+                )
+            except ReproError as exc:
+                # A channel fault aborts the whole batch with the typed
+                # error (documented failure parity): every heading in the
+                # batch is a loud detection.
+                detail = f"{type(exc).__name__}: {exc}"
+                return [
+                    self._cell(
+                        spec, severity, truth, "batch", Outcome.DETECTED, None, detail
+                    )
+                    for truth in self.headings_deg
+                ]
+            for truth, measurement in zip(self.headings_deg, measurements):
+                outcome, error, detail = self._classify(measurement, truth)
+                cells.append(
+                    self._cell(spec, severity, truth, "batch", outcome, error, detail)
+                )
+        return cells
+
+    def _run_scan(self, spec: FaultSpec, severity: float) -> List[CampaignCell]:
+        harness = SubstrateHarness(build_compass_mcm())
+        with self.registry.inject(spec.name, harness, severity):
+            try:
+                verdicts = harness.diagnose()
+            except ReproError as exc:
+                outcome = Outcome.DETECTED
+                detail = f"{type(exc).__name__}: {exc}"
+            else:
+                bad = {net: v for net, v in verdicts.items() if v != "good"}
+                if bad:
+                    outcome = Outcome.DETECTED
+                    detail = f"diagnosed: {bad}"
+                else:
+                    outcome = Outcome.SILENT_WRONG
+                    detail = "scan test passed despite injected fault"
+        return [self._cell(spec, severity, None, "scan", outcome, None, detail)]
+
+    def _cell(
+        self,
+        spec: FaultSpec,
+        severity: float,
+        truth: Optional[float],
+        path: str,
+        outcome: Outcome,
+        error: Optional[float],
+        detail: str,
+    ) -> CampaignCell:
+        return CampaignCell(
+            fault=spec.name,
+            severity=severity,
+            heading_deg=truth,
+            path=path,
+            outcome=outcome,
+            error_deg=error,
+            detail=detail,
+            conforms=outcome.value in spec.allowed_outcomes(severity),
+        )
+
+    # -- the sweep -------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Run the full campaign and return every classified cell."""
+        result = CampaignResult()
+        for name in self.fault_names:
+            spec = self.registry.get(name)
+            for severity in spec.severities:
+                if spec.probe == "scan":
+                    result.cells.extend(self._run_scan(spec, severity))
+                    continue
+                if "scalar" in self.paths:
+                    result.cells.extend(self._run_scalar(spec, severity))
+                if "batch" in self.paths:
+                    result.cells.extend(self._run_batch(spec, severity))
+        return result

@@ -144,17 +144,22 @@ class SimulationEngine:
         """Run ``stages`` in order, feeding each the previous output.
 
         Returns the final trace; all intermediates are available via
-        :attr:`probes`.  Input validation happens *before* any stage runs,
-        so a rejected call leaves the probe board untouched.
+        :attr:`probes`.  Probes are committed to the board only once the
+        whole chain has succeeded: a rejected call *or a stage raising
+        mid-chain* leaves the probe board exactly as it was, so a failed
+        run can never poison the next one with stale traces.
         """
         stage_list = list(stages)
         if not stage_list:
             raise ConfigurationError("run_chain needs at least one stage")
         trace = source
+        staged: List[Tuple[str, Trace]] = []
         for name, block in stage_list:
             trace = block(self.grid, trace)
             if not isinstance(trace, Trace):
                 raise ConfigurationError(f"stage {name!r} did not return a Trace")
-            self.probes.record(name, trace)
+            staged.append((name, trace))
+        for name, recorded in staged:
+            self.probes.record(name, recorded)
         assert trace is not None  # stage_list is non-empty and each stage returned a Trace
         return trace

@@ -1,8 +1,18 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_CODES, build_parser, exit_code_for, main
+from repro.errors import (
+    ComplianceError,
+    ConfigurationError,
+    DegradedOperationError,
+    FaultError,
+    ProtocolError,
+    ReproError,
+)
 
 
 class TestParser:
@@ -12,7 +22,9 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("measure", "sweep", "power", "area", "scan", "watch"):
+        for command in (
+            "measure", "sweep", "power", "area", "scan", "watch", "faults",
+        ):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -96,3 +108,57 @@ class TestWatch:
         assert main(["watch", "--set", "08:30", "--advance", "90"]) == 0
         out = capsys.readouterr().out
         assert "08:31:30" in out
+
+
+class TestTypedExitCodes:
+    def test_every_error_class_has_a_distinct_code(self):
+        codes = list(EXIT_CODES.values())
+        assert len(codes) == len(set(codes))
+        assert all(code != 0 for code in codes)
+
+    def test_most_derived_class_wins(self):
+        assert exit_code_for(DegradedOperationError("x")) == 9
+        assert exit_code_for(FaultError("x")) == 8
+        assert exit_code_for(ProtocolError("x")) == 5
+        assert exit_code_for(ComplianceError("x")) == 4
+        assert exit_code_for(ConfigurationError("x")) == 3
+        assert exit_code_for(ReproError("x")) == 10
+
+    def test_weak_field_exits_with_protocol_code(self, capsys):
+        # 0.001 µT is below the counter trust threshold → ProtocolError.
+        assert main(["measure", "--field", "0.001"]) == 5
+        captured = capsys.readouterr()
+        assert "ProtocolError" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1  # one-line message
+
+    def test_clean_measure_still_exits_zero(self, capsys):
+        assert main(["measure"]) == 0
+
+
+class TestFaultsCommand:
+    def test_smoke_campaign_passes_and_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "campaign.json"
+        code = main([
+            "faults", "--headings", "45", "--paths", "scalar",
+            "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "silent-wrong=0" in out
+        record = json.loads(path.read_text())
+        assert record["summary"]["silent_wrong"] == 0
+
+    def test_single_fault_selection(self, capsys):
+        code = main([
+            "faults", "--headings", "45", "--paths", "scalar",
+            "--fault", "digital.cordic_rom_bitflip",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "digital.cordic_rom_bitflip" in out
+        assert "sensor." not in out
+
+    def test_unknown_fault_exits_with_configuration_code(self, capsys):
+        assert main(["faults", "--fault", "bogus.fault"]) == 3
+        assert "ConfigurationError" in capsys.readouterr().err

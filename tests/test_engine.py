@@ -118,3 +118,37 @@ class TestSimulationEngine:
         engine = SimulationEngine(TimeGrid(1, samples_per_period=64))
         with pytest.raises(ConfigurationError, match="did not return a Trace"):
             engine.run_chain([("bad", lambda g, t: 42)])
+
+    def test_failed_mid_chain_leaves_probes_untouched(self):
+        # A stage raising halfway through must not leave the earlier
+        # stages' traces behind: stale probes from a failed run would
+        # poison the next run's inspection.
+        engine = SimulationEngine(TimeGrid(1, samples_per_period=64))
+
+        def source(g, trace):
+            return g.trace(np.ones(g.n_samples))
+
+        def explode(g, trace):
+            raise ConfigurationError("boom")
+
+        good = engine.run_chain([("keep", source)])
+        with pytest.raises(ConfigurationError, match="boom"):
+            engine.run_chain([("src", source), ("bad", explode)])
+        assert engine.probes.names() == ["keep"]
+        assert engine.probes["keep"] is good
+
+    def test_failed_chain_does_not_overwrite_prior_probe(self):
+        # Same stage name as an earlier successful run: the old trace
+        # must survive the failed re-run.
+        engine = SimulationEngine(TimeGrid(1, samples_per_period=64))
+
+        def source(g, trace):
+            return g.trace(np.ones(g.n_samples))
+
+        first = engine.run_chain([("src", source)])
+        with pytest.raises(ConfigurationError):
+            engine.run_chain(
+                [("src", source), ("bad", lambda g, t: (_ for _ in ()).throw(
+                    ConfigurationError("late failure")))]
+            )
+        assert engine.probes["src"] is first

@@ -20,6 +20,7 @@ from repro.errors import (
     ConfigurationError,
     ProtocolError,
 )
+from repro.faults import FaultCampaign, Outcome, REGISTRY, registered_faults
 from repro.sensors.fluxgate import FluxgateSensor
 from repro.sensors.parameters import IDEAL_TARGET, MICROMACHINED_KAW95
 from repro.simulation.engine import TimeGrid
@@ -124,3 +125,75 @@ class TestConfigurationSanity:
     def test_degenerate_sampling_rejected(self):
         with pytest.raises(ConfigurationError):
             IntegratedCompass(CompassConfig(samples_per_period=4)).measure_heading(0.0)
+
+
+def _registered_measurement_cases():
+    """(fault, severity) pairs for every measurement-probed fault."""
+    return [
+        pytest.param(spec, severity, id=f"{spec.name}@{severity:g}")
+        for spec in registered_faults()
+        if spec.probe == "measurement"
+        for severity in spec.severities
+    ]
+
+
+def _registered_scan_cases():
+    return [
+        pytest.param(spec, severity, id=f"{spec.name}@{severity:g}")
+        for spec in registered_faults()
+        if spec.probe == "scan"
+        for severity in spec.severities
+    ]
+
+
+class TestRegisteredFaultPopulation:
+    """Every fault in the registry honours its declared outcome contract.
+
+    This is the extensible half of this module: registering a new fault
+    in :mod:`repro.faults.model` automatically adds it here, and the
+    invariant enforced for every (fault, severity, heading) cell is the
+    campaign's core guarantee — *no silent-wrong headings*.
+    """
+
+    HEADINGS = (45.0, 222.25)
+
+    @pytest.mark.parametrize("spec,severity", _registered_measurement_cases())
+    def test_scalar_outcome_conforms(self, spec, severity):
+        campaign = FaultCampaign(headings_deg=self.HEADINGS, paths=("scalar",))
+        cells = campaign._run_scalar(spec, severity)
+        assert cells, "campaign produced no cells"
+        for cell in cells:
+            assert cell.outcome is not Outcome.SILENT_WRONG, cell
+            assert cell.conforms, (cell.outcome, spec.allowed_outcomes(severity))
+
+    @pytest.mark.parametrize("spec,severity", _registered_measurement_cases())
+    def test_batch_outcome_conforms(self, spec, severity):
+        campaign = FaultCampaign(headings_deg=self.HEADINGS, paths=("batch",))
+        cells = campaign._run_batch(spec, severity)
+        assert cells, "campaign produced no cells"
+        for cell in cells:
+            assert cell.outcome is not Outcome.SILENT_WRONG, cell
+            assert cell.conforms, (cell.outcome, spec.allowed_outcomes(severity))
+
+    @pytest.mark.parametrize("spec,severity", _registered_scan_cases())
+    def test_scan_outcome_conforms(self, spec, severity):
+        campaign = FaultCampaign(headings_deg=self.HEADINGS)
+        cells = campaign._run_scan(spec, severity)
+        for cell in cells:
+            assert cell.outcome is Outcome.DETECTED, cell
+
+    @pytest.mark.parametrize("spec,severity", _registered_measurement_cases())
+    def test_injection_is_reversible(self, spec, severity):
+        """After the context exits the compass measures bit-identically."""
+        compass = IntegratedCompass()
+        before = compass.measure_heading(45.0)
+        with REGISTRY.inject(spec.name, compass, severity):
+            pass  # inject and immediately revert
+        after = compass.measure_heading(45.0)
+        assert after.heading_deg == before.heading_deg
+        assert after.x_count == before.x_count
+        assert after.y_count == before.y_count
+
+    def test_registry_covers_every_layer(self):
+        layers = {spec.layer for spec in registered_faults()}
+        assert layers == {"sensor", "analog", "digital", "scan"}

@@ -1,0 +1,194 @@
+"""Runtime health supervisor: plausibility checks, watchdog, degradation.
+
+The supervisor's contract has two halves:
+
+* **transparency** — with every check enabled, a healthy compass must
+  produce *bit-identical* measurements to one with supervision disabled
+  (the golden regression below pins both against recorded values), and
+* **honesty** — when a check fails, the result is either a typed error
+  (strict mode) or a measurement that *says* it is degraded.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.core.health import HEALTHY, HealthConfig, HealthReport, HealthSupervisor
+from repro.errors import (
+    ConfigurationError,
+    DegradedOperationError,
+    FaultError,
+    ProtocolError,
+)
+from repro.faults import REGISTRY
+
+# Recorded from the design-point compass (ideal-target sensors, 50 µT,
+# 8-period window, 8-iteration CORDIC).  Any arithmetic change anywhere
+# in the chain shows up here.
+GOLDEN = [
+    (0.5, 0.44921875, 1545, -15, 39.77779830568831),
+    (45.0, 45.0, 1093, -1095, 39.831282628672135),
+    (123.0, 123.40234375, -843, -1297, 39.8244928366837),
+    (222.25, 221.9453125, -1143, 1037, 39.73251690350487),
+    (359.5, 359.55078125, 1545, 13, 39.77733175007646),
+]
+
+
+def _compass(**health_kwargs):
+    return IntegratedCompass(CompassConfig(health=HealthConfig(**health_kwargs)))
+
+
+class TestTransparency:
+    @pytest.mark.parametrize("truth,heading,x,y,field", GOLDEN)
+    def test_supervised_matches_golden(self, truth, heading, x, y, field):
+        m = IntegratedCompass().measure_heading(truth)
+        assert m.heading_deg == heading
+        assert (m.x_count, m.y_count) == (x, y)
+        assert m.field_estimate_a_per_m == field
+        assert m.health is not None and m.health.ok
+
+    @pytest.mark.parametrize("truth,heading,x,y,field", GOLDEN)
+    def test_unsupervised_matches_golden(self, truth, heading, x, y, field):
+        m = _compass(enabled=False).measure_heading(truth)
+        assert m.heading_deg == heading
+        assert (m.x_count, m.y_count) == (x, y)
+        assert m.field_estimate_a_per_m == field
+        assert m.health is None
+
+    def test_clean_reports_share_the_healthy_constant(self):
+        # Healthy measurements all carry the same HealthReport instance,
+        # so scalar/batch equality comparisons stay cheap and exact.
+        m = IntegratedCompass().measure_heading(45.0)
+        assert m.health is HEALTHY
+        assert not m.degraded
+
+
+class TestWatchdog:
+    def test_oversized_measurement_rejected(self):
+        compass = _compass(watchdog_periods=4)
+        with pytest.raises(ProtocolError, match="watchdog"):
+            compass.measure_heading(45.0)  # schedule wants 9 periods
+
+    def test_normal_schedule_passes(self):
+        assert _compass(watchdog_periods=64).measure_heading(45.0).health.ok
+
+
+class TestStrictMode:
+    def test_rom_corruption_raises_fault_error(self):
+        compass = _compass(degrade=False)
+        with REGISTRY.inject("digital.cordic_rom_bitflip", compass, 3.0):
+            with pytest.raises(FaultError, match="ROM"):
+                compass.measure_heading(45.0)
+
+    def test_counter_corruption_raises_fault_error(self):
+        compass = _compass(degrade=False)
+        with REGISTRY.inject("digital.counter_stuck_bit", compass, 12.0):
+            with pytest.raises(FaultError, match="count"):
+                compass.measure_heading(45.0)
+
+
+class TestStaleFallback:
+    def test_degrade_mode_serves_last_known_good(self):
+        compass = _compass(degrade=True)
+        good = compass.measure_heading(45.0)
+        with REGISTRY.inject("digital.cordic_rom_bitflip", compass, 3.0):
+            stale = compass.measure_heading(123.0)
+        assert stale.heading_deg == good.heading_deg
+        assert stale.degraded
+        assert stale.health.fallback == "last-known-good"
+        assert stale.health.stale_measurements >= 1
+        assert stale.health.staleness_s > 0.0
+
+    def test_staleness_accumulates(self):
+        compass = _compass(degrade=True)
+        compass.measure_heading(45.0)
+        with REGISTRY.inject("digital.cordic_rom_bitflip", compass, 3.0):
+            first = compass.measure_heading(123.0)
+            second = compass.measure_heading(123.0)
+        assert second.health.stale_measurements == first.health.stale_measurements + 1
+        assert second.health.staleness_s > first.health.staleness_s
+
+    def test_no_history_raises_degraded_operation(self):
+        compass = _compass(degrade=True)
+        with REGISTRY.inject("digital.cordic_rom_bitflip", compass, 3.0):
+            with pytest.raises(DegradedOperationError):
+                compass.measure_heading(45.0)
+
+    def test_recovery_clears_staleness(self):
+        compass = _compass(degrade=True)
+        compass.measure_heading(45.0)
+        with REGISTRY.inject("digital.cordic_rom_bitflip", compass, 3.0):
+            assert compass.measure_heading(123.0).degraded
+        recovered = compass.measure_heading(123.0)
+        assert recovered.health.ok
+        assert recovered.health.stale_measurements == 0
+
+
+class TestSingleAxisFallback:
+    def test_dead_x_channel_degrades_with_quadrant_flag(self):
+        compass = _compass(degrade=True)
+        compass.measure_heading(45.0)
+        with REGISTRY.inject("sensor.axis_gain_mismatch", compass, 0.9):
+            m = compass.measure_heading(50.0)
+        assert m.degraded
+        assert m.health.fallback == "single-axis-y"
+        assert m.health.quadrant_ambiguity
+        assert m.x_count == 0 and m.duty_x == 0.0
+        # The surviving y channel plus last-known-good quadrant context
+        # recovers the heading coarsely (gain errors land on the axis
+        # projection, not the spec'd 1°).
+        assert abs(((m.heading_deg - 50.0) + 180.0) % 360.0 - 180.0) < 15.0
+
+    def test_strict_mode_reraises_channel_failure(self):
+        compass = _compass(degrade=False)
+        compass.measure_heading(45.0)
+        with REGISTRY.inject("sensor.axis_gain_mismatch", compass, 0.9):
+            with pytest.raises(ConfigurationError, match="no pulses"):
+                compass.measure_heading(50.0)
+
+    def test_both_channels_dead_is_degraded_operation(self):
+        compass = _compass(degrade=True)
+        compass.measure_heading(45.0)
+        with REGISTRY.inject("sensor.saturation_loss", compass, 0.8):
+            with pytest.raises(DegradedOperationError, match="both"):
+                compass.measure_heading(45.0)
+
+
+class TestFieldBand:
+    def test_low_field_flags_but_measures(self):
+        # Near-pole horizontal fields are legitimate: flagged, not fatal.
+        m = IntegratedCompass().measure_heading(45.0, field_magnitude_t=8e-6)
+        assert m.degraded
+        assert any("below" in flag for flag in m.health.flags)
+
+    def test_in_band_field_unflagged(self):
+        assert IntegratedCompass().measure_heading(45.0, 60e-6).health.ok
+
+
+class TestReportAndConfig:
+    def test_reports_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            HEALTHY.status = "degraded"
+
+    def test_degraded_requires_flags_or_fallback(self):
+        report = HealthReport(status="degraded", flags=("x",))
+        assert report.degraded and not report.ok
+
+    def test_supervisor_disabled_never_reviews(self):
+        compass = _compass(enabled=False)
+        assert not compass.supervisor.enabled
+        with REGISTRY.inject("digital.cordic_rom_bitflip", compass, 3.0):
+            m = compass.measure_heading(45.0)  # corrupt but unsupervised
+        assert m.health is None
+
+    def test_supervisor_snapshot_predates_injection(self):
+        # The golden ROM is captured at construction: a supervisor built
+        # *after* corruption would trust the corrupt table, so the
+        # compass builds its supervisor in __init__ before any injection
+        # can happen.
+        compass = IntegratedCompass()
+        golden = compass.supervisor._rom_golden
+        with REGISTRY.inject("digital.cordic_rom_bitflip", compass, 3.0):
+            assert tuple(compass.back_end.cordic.rom) != golden
+        assert tuple(compass.back_end.cordic.rom) == golden
