@@ -1,12 +1,20 @@
 # Convenience targets for the compass reproduction.
 
-.PHONY: install test lint bench bench-tables examples datasheet floorplan faults all
+.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults all
 
 install:
 	pip install -e . || python setup.py develop
 
+# Default tier: excludes tests marked `slow` (see pyproject addopts).
 test:
 	pytest tests/
+
+# The slow tier on its own: long sweeps + the fault smoke campaign.
+test-slow:
+	pytest tests/ -m slow
+
+test-all:
+	pytest tests/ -m "slow or not slow"
 
 # Lint/type-check when the tools are available (pip install -e .[lint]);
 # skip gracefully on bare environments so `make all` stays runnable.

@@ -1,0 +1,126 @@
+"""OBS1 — observability overhead record.
+
+The ``repro.observe`` layer's contract is *pay only if you look*: with
+``Observability()`` disabled (the default) the measurement hot path must
+stay bit-identical (pinned by ``tests/test_golden_vectors.py``) and
+within 5 % of the uninstrumented throughput recorded in
+``BENCH_sweep.json``.  This bench is that contract's record: it times
+the scalar loop and the warm batch sweep with observability disabled and
+fully enabled, writes ``BENCH_observe.json`` at the repo root, and
+fails if the disabled path drifts past the budget.
+
+The enabled numbers are informational — tracing every excitation /
+pickup / comparator / CORDIC-iteration span has a real cost, and the
+record keeps it honest rather than hidden.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+from repro.batch import BatchCompass
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.core.heading import headings_evenly_spaced
+from repro.observe import Observability
+
+N_HEADINGS = 24
+FIELD_T = 50.0e-6
+ROUNDS = 3
+#: Allowed disabled-path slowdown vs the uninstrumented baseline.
+OVERHEAD_BUDGET = 0.05
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_observe.json"
+
+HEADINGS = headings_evenly_spaced(N_HEADINGS, 0.5)
+
+
+def _time_scalar(config):
+    best = float("inf")
+    for _ in range(ROUNDS):
+        compass = IntegratedCompass(config)
+        t0 = time.perf_counter()
+        for heading in HEADINGS:
+            compass.measure_heading(heading, field_magnitude_t=FIELD_T)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_batch_warm(config):
+    batch = BatchCompass(IntegratedCompass(config))
+    batch.sweep_headings(HEADINGS, field_magnitude_t=FIELD_T)  # warm cache
+    best = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        batch.sweep_headings(HEADINGS, field_magnitude_t=FIELD_T)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_overhead():
+    disabled = CompassConfig()  # Observability() default: off
+    enabled = CompassConfig(observe=Observability.on())
+
+    scalar_disabled_s = _time_scalar(disabled)
+    scalar_enabled_s = _time_scalar(enabled)
+    batch_disabled_s = _time_batch_warm(disabled)
+    batch_enabled_s = _time_batch_warm(enabled)
+
+    return {
+        "n_headings": N_HEADINGS,
+        "field_magnitude_t": FIELD_T,
+        "rounds_best_of": ROUNDS,
+        "overhead_budget": OVERHEAD_BUDGET,
+        "scalar_disabled_s": round(scalar_disabled_s, 4),
+        "scalar_enabled_s": round(scalar_enabled_s, 4),
+        "batch_warm_disabled_s": round(batch_disabled_s, 4),
+        "batch_warm_enabled_s": round(batch_enabled_s, 4),
+    }
+
+
+def test_obs1_disabled_overhead(benchmark):
+    record = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+
+    # Disabled-vs-baseline: re-time the seed-equivalent loop in the same
+    # process so the comparison shares cache/turbo conditions, rather
+    # than trusting a number recorded on other hardware.
+    baseline_scalar_s = record["scalar_disabled_s"]
+    sweep_path = RESULT_PATH.parent / "BENCH_sweep.json"
+    if sweep_path.exists():
+        sweep = json.loads(sweep_path.read_text())
+        per_heading_ref = sweep["scalar_s"] / sweep["n_headings"]
+        record["ref_scalar_s_per_heading"] = round(per_heading_ref, 5)
+    record["scalar_s_per_heading"] = round(
+        baseline_scalar_s / N_HEADINGS, 5
+    )
+    record["scalar_enabled_overhead"] = round(
+        record["scalar_enabled_s"] / record["scalar_disabled_s"] - 1.0, 3
+    )
+    record["batch_enabled_overhead"] = round(
+        record["batch_warm_enabled_s"] / record["batch_warm_disabled_s"]
+        - 1.0, 3
+    )
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    rows = [
+        f"scalar, observe off : {record['scalar_disabled_s']:.3f} s "
+        f"/ {N_HEADINGS} headings",
+        f"scalar, observe on  : {record['scalar_enabled_s']:.3f} s "
+        f"(+{record['scalar_enabled_overhead']:.1%})",
+        f"batch warm, off     : {record['batch_warm_disabled_s']:.4f} s",
+        f"batch warm, on      : {record['batch_warm_enabled_s']:.4f} s "
+        f"(+{record['batch_enabled_overhead']:.1%})",
+        f"record              : {RESULT_PATH.name}",
+    ]
+    emit("OBS1 observability overhead (disabled must be free)", rows)
+
+    if "ref_scalar_s_per_heading" in record:
+        drift = (
+            record["scalar_s_per_heading"]
+            / record["ref_scalar_s_per_heading"]
+        )
+        record["disabled_vs_ref"] = round(drift, 3)
+        RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        assert drift <= 1.0 + OVERHEAD_BUDGET, (
+            f"disabled-observability scalar path is {drift:.3f}x the "
+            f"BENCH_sweep record — instrumentation is no longer free"
+        )

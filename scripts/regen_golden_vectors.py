@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Regenerate the golden conformance vectors in tests/golden/.
+
+The golden suite pins the exact integer counter pair, the exact measured
+heading and the health verdict for a 16-heading x 3-magnitude grid of
+clean scalar measurements.  Every measurement path (scalar, batch,
+instrumented) must reproduce these vectors **bit-for-bit** — the file is
+the repo's contract that observability and refactors never move a single
+output bit.
+
+Regenerate (only after an intentional numerics change, with the diff
+reviewed heading-by-heading):
+
+    PYTHONPATH=src python scripts/regen_golden_vectors.py
+
+JSON round-trips Python floats exactly (repr <-> float), so equality
+checks in tests/test_golden_vectors.py are ``==``, not ``approx``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.core.compass import IntegratedCompass  # noqa: E402
+
+#: 16 headings, evenly spaced, deliberately off the cardinal grid by an
+#: irrational-ish offset so no cell sits exactly on a quadrant boundary.
+HEADINGS_DEG = tuple(round(11.25 + i * 22.5, 4) for i in range(16))
+
+#: Weak / nominal / strong horizontal fields [uT] — spanning the earth
+#: field band the health supervisor considers plausible.
+FIELD_MAGNITUDES_UT = (25.0, 50.0, 65.0)
+
+OUTPUT = os.path.join(
+    os.path.dirname(__file__), os.pardir, "tests", "golden",
+    "compass_vectors.json",
+)
+
+
+def generate() -> dict:
+    compass = IntegratedCompass()
+    vectors = []
+    for field_ut in FIELD_MAGNITUDES_UT:
+        for heading in HEADINGS_DEG:
+            m = compass.measure_heading(heading, field_ut * 1e-6)
+            health = m.health
+            vectors.append({
+                "true_heading_deg": heading,
+                "field_ut": field_ut,
+                "x_count": m.x_count,
+                "y_count": m.y_count,
+                "heading_deg": m.heading_deg,
+                "field_estimate_a_per_m": m.field_estimate_a_per_m,
+                "cordic_cycles": m.cordic_cycles,
+                "health_status": None if health is None else health.status,
+                "health_flags": (
+                    [] if health is None else list(health.flags)
+                ),
+                "degraded": m.degraded,
+            })
+    return {
+        "meta": {
+            "description": (
+                "Golden conformance vectors: clean scalar measurements "
+                "over a 16-heading x 3-magnitude grid. All paths must "
+                "match bit-for-bit."
+            ),
+            "headings_deg": list(HEADINGS_DEG),
+            "field_magnitudes_ut": list(FIELD_MAGNITUDES_UT),
+            "regenerate": (
+                "PYTHONPATH=src python scripts/regen_golden_vectors.py"
+            ),
+        },
+        "vectors": vectors,
+    }
+
+
+def main() -> int:
+    record = generate()
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=1)
+        handle.write("\n")
+    print(f"wrote {len(record['vectors'])} vectors to {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ Quickstart::
 from .core.compass import CompassConfig, IntegratedCompass
 from .core.heading import HeadingMeasurement, compass_point
 from .core.health import HealthConfig, HealthReport
+from .observe import Observability
 from .errors import (
     CalibrationError,
     ComplianceError,
@@ -50,6 +51,7 @@ __all__ = [
     "HealthConfig",
     "HealthReport",
     "IntegratedCompass",
+    "Observability",
     "ProtocolError",
     "ReproError",
     "ResourceError",

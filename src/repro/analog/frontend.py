@@ -18,6 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..observe import DISABLED, Observer
+from ..observe.trace import (
+    STAGE_CHANNEL,
+    STAGE_COMPARATOR,
+    STAGE_EXCITATION,
+    STAGE_PICKUP,
+)
 from ..physics.noise import NoiseBudget, NOISELESS
 from ..sensors.fluxgate import FluxgateSensor, SensorWaveforms
 from ..simulation.engine import TimeGrid
@@ -67,6 +74,9 @@ class AnalogFrontEnd:
         self.detector = PulsePositionDetector(config.detector)
         self.multiplexer = SensorMultiplexer()
         self._enabled = True
+        #: Set by the owning compass; DISABLED means every span/metric
+        #: call below is a no-op costing one attribute check.
+        self.observer: Observer = DISABLED
 
     # -- power gating ---------------------------------------------------------
 
@@ -106,14 +116,29 @@ class AnalogFrontEnd:
         """
         if not self._enabled:
             raise ConfigurationError("front-end is powered down")
-        self.excitation.select_channel(channel)
-        self.multiplexer.select(channel)
-        current = self.excitation.current(
-            grid, channel, sensor.params.series_resistance
-        )
-        waveforms = sensor.simulate(current, h_external)
-        amplified = self.amplifier.amplify(waveforms.pickup_voltage)
-        detected = self.detector.detect(amplified)
+        observer = self.observer
+        with observer.span(
+            f"{STAGE_CHANNEL}.{channel}", channel=channel, h_external=h_external
+        ) as span:
+            self.excitation.select_channel(channel)
+            self.multiplexer.select(channel)
+            with observer.span(STAGE_EXCITATION, channel=channel) as exc_span:
+                current = self.excitation.current(
+                    grid, channel, sensor.params.series_resistance
+                )
+                exc_span.set(
+                    samples=len(current),
+                    frequency_hz=self.excitation.oscillator.params.frequency_hz,
+                )
+            with observer.span(STAGE_PICKUP, channel=channel):
+                waveforms = sensor.simulate(current, h_external)
+                amplified = self.amplifier.amplify(waveforms.pickup_voltage)
+            with observer.span(STAGE_COMPARATOR, channel=channel) as cmp_span:
+                detected = self.detector.detect(amplified)
+                cmp_span.set(
+                    edges=len(detected.edges), duty=detected.duty_cycle()
+                )
+            span.set(duty=detected.duty_cycle())
         return ChannelMeasurement(
             channel=channel,
             waveforms=waveforms,

@@ -39,6 +39,13 @@ from ..core.accuracy import ErrorStats
 from ..core.compass import CompassConfig, IntegratedCompass
 from ..core.heading import HeadingMeasurement, headings_evenly_spaced
 from ..errors import ConfigurationError
+from ..observe import (
+    M_BATCH_CHUNKS,
+    M_BATCH_ROWS,
+    M_CACHE_EVENTS,
+    MetricsRegistry,
+)
+from ..observe.trace import STAGE_MEASURE
 from ..sensors.fluxgate import FluxgateSensor
 from ..simulation.engine import TimeGrid
 from ..simulation.signals import TimeGradient, Trace
@@ -65,6 +72,11 @@ class ExcitationTraceCache:
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple, _CacheEntry] = {}
+        #: Optional metrics registry (set by the owning BatchCompass);
+        #: hit/miss counts are always kept — they are two int adds.
+        self.metrics: Optional[MetricsRegistry] = None
+        self.hits = 0
+        self.misses = 0
 
     @staticmethod
     def key(grid: TimeGrid, channel: str, load_resistance: float) -> Tuple:
@@ -88,9 +100,20 @@ class ExcitationTraceCache:
         key = self.key(grid, channel, load_resistance)
         entry = self._entries.get(key)
         if entry is None:
+            self.misses += 1
+            event = "miss"
             current = source.current(grid, channel, load_resistance)
             entry = _CacheEntry(current=current, gradient=TimeGradient(current.t))
             self._entries[key] = entry
+        else:
+            self.hits += 1
+            event = "hit"
+        if self.metrics is not None:
+            self.metrics.counter(
+                M_CACHE_EVENTS,
+                "excitation-trace cache lookups, by outcome",
+                ("event",),
+            ).inc(event=event)
         return entry
 
     def __len__(self) -> int:
@@ -145,6 +168,7 @@ class BatchCompass:
         self.compass = compass
         self.chunk_size = chunk_size
         self.cache = ExcitationTraceCache()
+        self.cache.metrics = compass.observer.metrics
 
     # -- core batch measurement ------------------------------------------------
 
@@ -197,21 +221,36 @@ class BatchCompass:
         # match draw-for-draw.
         draw_base = amplifier.consume_noise_draws(2 * h_x.size) if noisy else 0
 
-        front_end.enable()
-        try:
-            detected_x = self._measure_channel_batch(
-                compass.sensors.sensor_x, "x", h_x, grid, draw_base, 0
-            )
-            detected_y = self._measure_channel_batch(
-                compass.sensors.sensor_y, "y", h_y, grid, draw_base, 1
-            )
-        finally:
-            front_end.disable()
+        observer = compass.observer
+        with observer.span(
+            "batch.sweep", rows=int(h_x.size), chunk_size=self.chunk_size
+        ):
+            front_end.enable()
+            try:
+                detected_x = self._measure_channel_batch(
+                    compass.sensors.sensor_x, "x", h_x, grid, draw_base, 0
+                )
+                detected_y = self._measure_channel_batch(
+                    compass.sensors.sensor_y, "y", h_y, grid, draw_base, 1
+                )
+            finally:
+                front_end.disable()
 
-        return [
-            compass.assemble_measurement(out_x, out_y, count_window)
-            for out_x, out_y in zip(detected_x, detected_y)
-        ]
+            measurements = []
+            for row, (out_x, out_y) in enumerate(zip(detected_x, detected_y)):
+                with observer.span(
+                    STAGE_MEASURE, path="batch", row=row
+                ) as span:
+                    measurement = compass.assemble_measurement(
+                        out_x, out_y, count_window, path="batch"
+                    )
+                    span.set(heading_deg=measurement.heading_deg)
+                measurements.append(measurement)
+            if observer.metrics is not None:
+                observer.metrics.counter(
+                    M_BATCH_ROWS, "measurement rows served by the batch engine"
+                ).inc(len(measurements))
+        return measurements
 
     def _measure_channel_batch(
         self,
@@ -235,18 +274,34 @@ class BatchCompass:
         detector = front_end.detector
         noisy = not amplifier.budget.is_noiseless
 
+        observer = self.compass.observer
+        metrics = observer.metrics
         outputs: List[DetectorOutput] = []
-        for start in range(0, h_values.size, self.chunk_size):
-            h_chunk = h_values[start : start + self.chunk_size]
-            pickup = sensor.simulate_batch(current, h_chunk, gradient)
-            draw_indices: Optional[List[int]] = None
-            if noisy:
-                draw_indices = [
-                    draw_base + 2 * (start + row) + draw_offset
-                    for row in range(h_chunk.size)
-                ]
-            amplified = amplifier.amplify_batch(pickup, sample_rate, draw_indices)
-            outputs.extend(detector.detect_batch(amplified, current.t))
+        with observer.span(f"batch.channel.{channel}", channel=channel) as span:
+            for start in range(0, h_values.size, self.chunk_size):
+                h_chunk = h_values[start : start + self.chunk_size]
+                with observer.span(
+                    "batch.chunk", channel=channel, start=start,
+                    rows=int(h_chunk.size),
+                ):
+                    pickup = sensor.simulate_batch(current, h_chunk, gradient)
+                    draw_indices: Optional[List[int]] = None
+                    if noisy:
+                        draw_indices = [
+                            draw_base + 2 * (start + row) + draw_offset
+                            for row in range(h_chunk.size)
+                        ]
+                    amplified = amplifier.amplify_batch(
+                        pickup, sample_rate, draw_indices
+                    )
+                    outputs.extend(detector.detect_batch(amplified, current.t))
+                if metrics is not None:
+                    metrics.counter(
+                        M_BATCH_CHUNKS,
+                        "vectorized chunks processed, by channel",
+                        ("channel",),
+                    ).inc(channel=channel)
+            span.set(rows=int(h_values.size))
         return outputs
 
     # -- sweep APIs --------------------------------------------------------------

@@ -8,6 +8,8 @@ Gives the library a bench-top feel without writing code:
 * ``area`` — the Sea-of-Gates floorplan report,
 * ``scan`` — boundary-scan test of the MCM, with optional fault injection,
 * ``faults`` — the fault-injection campaign (``repro.faults``),
+* ``trace`` — run a measurement with tracing on and print the span tree,
+* ``metrics`` — exercise both measurement paths and dump the metrics,
 * ``watch`` — advance the watch and render the LCD.
 
 Failures exit with a *typed* code: every :class:`~repro.errors.ReproError`
@@ -173,6 +175,59 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if not result.silent_wrong() and not result.nonconforming() else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .batch import BatchCompass
+    from .core.compass import CompassConfig
+    from .observe import Observability, render_span_tree
+
+    observe = Observability.on(
+        jsonl_path=args.jsonl,
+        vcd_path=args.vcd,
+    )
+    compass = IntegratedCompass(CompassConfig(observe=observe))
+    if args.batch:
+        BatchCompass(compass).sweep_headings(
+            [args.heading], args.field * 1e-6
+        )
+    else:
+        compass.measure_heading(args.heading, args.field * 1e-6)
+    ring = compass.observer.ring()
+    for root in ring.roots:
+        print(render_span_tree(root))
+    compass.observer.close()
+    if args.jsonl:
+        print(f"wrote {args.jsonl}")
+    if args.vcd:
+        print(f"wrote {args.vcd}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .batch import BatchCompass
+    from .core.compass import CompassConfig
+    from .core.heading import headings_evenly_spaced
+    from .observe import Observability, render_metrics
+
+    compass = IntegratedCompass(
+        CompassConfig(observe=Observability.on(tracing=False))
+    )
+    headings = headings_evenly_spaced(args.points)
+    field_t = args.field * 1e-6
+    for heading in headings:
+        compass.measure_heading(heading, field_t)
+    BatchCompass(compass).sweep_headings(headings, field_t)
+    if args.campaign:
+        from .faults import FaultCampaign
+
+        FaultCampaign(
+            headings_deg=(headings[0],),
+            faults=args.campaign,
+            metrics=compass.observer.metrics,
+        ).run()
+    print(render_metrics(compass.observer.metrics.snapshot()))
+    return 0
+
+
 def _cmd_datasheet(args: argparse.Namespace) -> int:
     from .core.datasheet import generate_datasheet
 
@@ -246,6 +301,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the full campaign record as JSON")
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser("trace", help="print the span tree of one measurement")
+    p.add_argument("--heading", type=float, default=123.0,
+                   help="true heading in degrees (default 123)")
+    p.add_argument("--field", type=float, default=50.0,
+                   help="horizontal field in microtesla (default 50)")
+    p.add_argument("--batch", action="store_true",
+                   help="trace the vectorized batch path instead of scalar")
+    p.add_argument("--jsonl", default=None, metavar="PATH",
+                   help="also stream finished spans to a JSONL file")
+    p.add_argument("--vcd", default=None, metavar="PATH",
+                   help="also render span activity as a VCD waveform")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("metrics",
+                       help="exercise both paths and dump the metrics")
+    p.add_argument("--points", type=int, default=4,
+                   help="headings per path (default 4)")
+    p.add_argument("--field", type=float, default=50.0,
+                   help="horizontal field in microtesla (default 50)")
+    p.add_argument("--campaign", action="append", metavar="FAULT",
+                   help="also run a one-heading fault campaign for this "
+                        "registered fault (repeatable)")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("datasheet", help="generate the measured datasheet")
     p.add_argument("--quick", action="store_true", help="smaller sweeps")

@@ -21,6 +21,18 @@ from ..digital.backend import DigitalBackEnd
 from ..digital.counter import CounterConfig
 from ..digital.display import DisplayFrame, DisplayMode
 from ..errors import ConfigurationError, DegradedOperationError, FaultError, ReproError
+from ..observe import (
+    FIELD_BUCKETS_UT,
+    HEADING_BUCKETS,
+    M_COUNTER_TICKS,
+    M_FIELD,
+    M_HEADING,
+    M_MEASUREMENTS,
+    MetricsRegistry,
+    Observability,
+    build_observer,
+)
+from ..observe.trace import STAGE_MEASURE
 from ..physics.earth_field import FieldVector
 from ..sensors.pair import IDEAL_PAIR, OrthogonalSensorPair, PairImperfections
 from ..sensors.parameters import FluxgateParameters, IDEAL_TARGET
@@ -28,6 +40,31 @@ from ..simulation.engine import TimeGrid
 from ..units import CORDIC_ITERATIONS
 from .heading import HeadingMeasurement
 from .health import HealthConfig, HealthSupervisor
+
+
+def _record_measurement(
+    metrics: MetricsRegistry, measurement: HeadingMeasurement, path: str
+) -> None:
+    """Account one served measurement in the shared metrics registry."""
+    health = measurement.health
+    status = "degraded" if (health is not None and health.degraded) else "ok"
+    metrics.counter(
+        M_MEASUREMENTS,
+        "heading measurements served, by path and health status",
+        ("path", "status"),
+    ).inc(path=path, status=status)
+    metrics.histogram(
+        M_HEADING,
+        "measured headings [deg]",
+        ("path",),
+        buckets=HEADING_BUCKETS,
+    ).observe(measurement.heading_deg, path=path)
+    metrics.histogram(
+        M_FIELD,
+        "field-magnitude estimates [uT]",
+        ("path",),
+        buckets=FIELD_BUCKETS_UT,
+    ).observe(measurement.field_estimate_tesla * 1e6, path=path)
 
 
 @dataclass(frozen=True)
@@ -49,6 +86,7 @@ class CompassConfig:
     cordic_iterations: int = CORDIC_ITERATIONS
     samples_per_period: int = TimeGrid.DEFAULT_SAMPLES_PER_PERIOD
     health: HealthConfig = HealthConfig()
+    observe: Observability = Observability()
 
 
 class IntegratedCompass:
@@ -81,6 +119,11 @@ class IntegratedCompass:
             cordic_iterations=config.cordic_iterations,
             schedule=config.schedule,
         )
+        # Observability resolves once here; the front- and back-end share
+        # the compass's observer so one measurement is one span tree.
+        self.observer = build_observer(config.observe)
+        self.front_end.observer = self.observer
+        self.back_end.observer = self.observer
         # The supervisor snapshots its golden references (CORDIC ROM) at
         # build time, so it must be created after the back-end and before
         # any fault can be injected.
@@ -132,50 +175,62 @@ class IntegratedCompass:
         degrade = self.config.health.enabled and self.config.health.degrade
         failures = {}
         outputs = {}
-        self.front_end.enable()
-        try:
-            for channel, sensor, h in (
-                ("x", self.sensors.sensor_x, h_x),
-                ("y", self.sensors.sensor_y, h_y),
-            ):
-                try:
-                    meas = self.front_end.measure_channel(sensor, channel, h, grid)
-                    outputs[channel] = meas.detector_output
-                except ReproError as exc:
-                    if not degrade or isinstance(exc, FaultError):
-                        raise
-                    failures[channel] = exc
-        finally:
-            self.front_end.disable()
+        with self.observer.span(STAGE_MEASURE, path="scalar") as root:
+            self.front_end.enable()
+            try:
+                for channel, sensor, h in (
+                    ("x", self.sensors.sensor_x, h_x),
+                    ("y", self.sensors.sensor_y, h_y),
+                ):
+                    try:
+                        meas = self.front_end.measure_channel(
+                            sensor, channel, h, grid
+                        )
+                        outputs[channel] = meas.detector_output
+                    except ReproError as exc:
+                        if not degrade or isinstance(exc, FaultError):
+                            raise
+                        failures[channel] = exc
+            finally:
+                self.front_end.disable()
 
-        if failures:
-            if len(failures) == 2:
-                raise DegradedOperationError(
-                    "both sensor channels failed — no heading can be "
-                    f"produced (x: {failures['x']}; y: {failures['y']})"
-                ) from failures["x"]
-            (dead,) = failures
-            alive = "y" if dead == "x" else "x"
-            fallback = self.supervisor.single_axis_fallback(
-                alive, outputs[alive], count_window, failures[dead]
+            if failures:
+                if len(failures) == 2:
+                    raise DegradedOperationError(
+                        "both sensor channels failed — no heading can be "
+                        f"produced (x: {failures['x']}; y: {failures['y']})"
+                    ) from failures["x"]
+                (dead,) = failures
+                alive = "y" if dead == "x" else "x"
+                fallback = self.supervisor.single_axis_fallback(
+                    alive, outputs[alive], count_window, failures[dead]
+                )
+                self.supervisor.observe(fallback)
+                root.set(heading_deg=fallback.heading_deg, fallback=True)
+                if self.observer.metrics is not None:
+                    _record_measurement(
+                        self.observer.metrics, fallback, "scalar"
+                    )
+                return fallback
+
+            measurement = self.assemble_measurement(
+                outputs["x"], outputs["y"], count_window
             )
-            self.supervisor.observe(fallback)
-            return fallback
-
-        return self.assemble_measurement(
-            outputs["x"], outputs["y"], count_window
-        )
+            root.set(heading_deg=measurement.heading_deg)
+        return measurement
 
     def assemble_measurement(
         self,
         detector_x: DetectorOutput,
         detector_y: DetectorOutput,
         count_window: Tuple[float, float],
+        path: str = "scalar",
     ) -> HeadingMeasurement:
         """Digital back-end pass: detector outputs → heading record.
 
         Shared by the scalar path and :class:`repro.batch.BatchCompass`,
-        so both assemble measurements through identical arithmetic.
+        so both assemble measurements through identical arithmetic;
+        ``path`` only labels the spans/metrics this call emits.
         """
         result = self.back_end.process_measurement(
             detector_x,
@@ -213,6 +268,8 @@ class IntegratedCompass:
                 # the last-known-good heading with staleness metadata.
                 stale = self.supervisor.stale_fallback(fault)
                 self.supervisor.observe(stale)
+                if self.observer.metrics is not None:
+                    _record_measurement(self.observer.metrics, stale, path)
                 return stale
         measurement = HeadingMeasurement(
             heading_deg=result.heading_deg,
@@ -227,6 +284,16 @@ class IntegratedCompass:
         )
         if self.supervisor.enabled:
             self.supervisor.observe(measurement)
+        metrics = self.observer.metrics
+        if metrics is not None:
+            _record_measurement(metrics, measurement, path)
+            ticks = metrics.counter(
+                M_COUNTER_TICKS,
+                "clock ticks integrated by the up-down counter",
+                ("path", "channel"),
+            )
+            ticks.inc(x_ticks, path=path, channel="x")
+            ticks.inc(y_ticks, path=path, channel="y")
         return measurement
 
     def measure_heading(

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 from ..analog.pulse_detector import DetectorOutput
 from ..digital.atan_rom import build_rom
 from ..errors import DegradedOperationError, FaultError, ProtocolError
+from ..observe import M_HEALTH_CHECKS, M_HEALTH_FALLBACKS
 from ..units import (
     EARTH_FIELD_MAX_T,
     EARTH_FIELD_MIN_T,
@@ -247,6 +248,29 @@ class HealthSupervisor:
         self._last_good = None
         self._stale_measurements = 0
 
+    def _count_check(self, check: str, outcome: str) -> None:
+        """Account one health-check evaluation in the compass metrics.
+
+        ``outcome`` is ``"ok"`` (passed), ``"flag"`` (soft violation) or
+        ``"fault"`` (hard violation, about to raise).
+        """
+        metrics = self._compass.observer.metrics
+        if metrics is not None:
+            metrics.counter(
+                M_HEALTH_CHECKS,
+                "health-check evaluations, by check and outcome",
+                ("check", "outcome"),
+            ).inc(check=check, outcome=outcome)
+
+    def _count_fallback(self, kind: str) -> None:
+        metrics = self._compass.observer.metrics
+        if metrics is not None:
+            metrics.counter(
+                M_HEALTH_FALLBACKS,
+                "degraded headings served, by fallback path",
+                ("kind",),
+            ).inc(kind=kind)
+
     def observe(self, measurement: "HeadingMeasurement") -> None:
         """Update the last-known-good record after a measurement.
 
@@ -307,12 +331,14 @@ class HealthSupervisor:
             if abs(count_result.total_ticks - expected_ticks) > (
                 cfg.tick_window_tolerance + 1.0
             ):
+                self._count_check("tick-window", "fault")
                 raise FaultError(
                     f"health check: channel {channel} counted "
                     f"{count_result.total_ticks} ticks where the schedule "
                     f"promised {expected_ticks:.0f} ± "
                     f"{cfg.tick_window_tolerance}"
                 )
+            self._count_check("tick-window", "ok")
 
         # 2. count/duty cross-consistency: the digital count must agree
         #    with the analogue duty cycle up to clock quantisation.
@@ -325,12 +351,14 @@ class HealthSupervisor:
             n_edges = sum(1 for e in detector.edges if t0 < e.time < t1)
             tolerance = (n_edges + 2) + cfg.duty_margin_ticks
             if abs(count_result.count - expected_count) > tolerance:
+                self._count_check("count-duty", "fault")
                 raise FaultError(
                     f"health check: channel {channel} count "
                     f"{count_result.count} disagrees with the detector duty "
                     f"cycle (expected {expected_count:.0f} ± {tolerance}); "
                     "counter datapath fault suspected"
                 )
+            self._count_check("count-duty", "ok")
 
         # 3. pulse activity: one set and one reset per excitation period.
         expected_events = self._compass.config.schedule.count_periods
@@ -340,19 +368,23 @@ class HealthSupervisor:
                 abs(sets - expected_events) > cfg.edge_tolerance
                 or abs(resets - expected_events) > cfg.edge_tolerance
             ):
+                self._count_check("pulse-activity", "fault")
                 raise FaultError(
                     f"health check: channel {channel} pulse activity "
                     f"({sets} set / {resets} reset events) deviates from the "
                     f"{expected_events}-per-window expectation; stuck "
                     "comparator or collapsing pulse pair suspected"
                 )
+            self._count_check("pulse-activity", "ok")
 
         # 4. CORDIC ROM integrity (ROM signature BIST).
         if tuple(self._compass.back_end.cordic.rom) != self._rom_golden:
+            self._count_check("rom-bist", "fault")
             raise FaultError(
                 "health check: CORDIC arctangent ROM differs from the "
                 "golden atan(2^-i) table; ROM corruption detected"
             )
+        self._count_check("rom-bist", "ok")
 
         # 5. field plausibility: |B| inside the worldwide band (§1).
         #    Only an impossibly *large* estimate is a hard fault: nothing
@@ -365,6 +397,7 @@ class HealthSupervisor:
         field_t = field_estimate_a_per_m * MU_0
         hard_max = cfg.soft_max_t * cfg.hard_band_factor
         if field_t > hard_max:
+            self._count_check("field-band", "fault")
             raise FaultError(
                 f"health check: field estimate {field_t * 1e6:.1f} µT is "
                 f"far above the plausible {hard_max * 1e6:.1f} µT ceiling; "
@@ -381,6 +414,7 @@ class HealthSupervisor:
                 f"{cfg.soft_max_t * 1e6:.1f} µT (magnetised object or gain "
                 "drift)"
             )
+        self._count_check("field-band", "flag" if flags else "ok")
 
         if flags:
             return HealthReport(status="degraded", flags=tuple(flags))
@@ -402,6 +436,7 @@ class HealthSupervisor:
                 f"to fall back on: {fault}"
             ) from fault
         self._stale_measurements += 1
+        self._count_fallback("last-known-good")
         stale = self._stale_measurements
         report = HealthReport(
             status="degraded",
@@ -478,6 +513,7 @@ class HealthSupervisor:
             heading = candidates[0]
 
         dead = "y" if channel == "x" else "x"
+        self._count_fallback(f"single-axis-{channel}")
         report = HealthReport(
             status="degraded",
             flags=(

@@ -14,6 +14,13 @@ from typing import Optional, Tuple
 from ..analog.mux import MeasurementSchedule
 from ..analog.pulse_detector import DetectorOutput
 from ..errors import ProtocolError
+from ..observe import DISABLED, Observer
+from ..observe.trace import (
+    STAGE_BACKEND,
+    STAGE_CORDIC,
+    STAGE_CORDIC_ITER,
+    STAGE_COUNTER,
+)
 from ..units import CORDIC_ITERATIONS
 from .control import CompassController
 from .cordic import CordicArctan
@@ -61,6 +68,8 @@ class DigitalBackEnd:
         self.watch = WatchTimekeeper(crystal_hz=counter_config.clock_hz)
         self.schedule = schedule
         self._last_result: Optional[BackEndResult] = None
+        #: Set by the owning compass; DISABLED keeps this path span-free.
+        self.observer: Observer = DISABLED
 
     def process_measurement(
         self,
@@ -75,22 +84,52 @@ class DigitalBackEnd:
         each channel over its (settled) window; the CORDIC turns the
         integer pair into a heading.
         """
-        self.controller.run_measurement()
-        self.counter.enable()
-        x_result = self.counter.count_window(detector_x, window_x)
-        y_result = self.counter.count_window(detector_y, window_y)
-        self.counter.disable()
+        observer = self.observer
+        tracing = observer.tracer is not None
+        with observer.span(STAGE_BACKEND):
+            self.controller.run_measurement()
+            self.counter.enable()
+            with observer.span(f"{STAGE_COUNTER}.x", channel="x") as span_x:
+                x_result = self.counter.count_window(detector_x, window_x)
+                span_x.set(count=x_result.count, ticks=x_result.total_ticks)
+            with observer.span(f"{STAGE_COUNTER}.y", channel="y") as span_y:
+                y_result = self.counter.count_window(detector_y, window_y)
+                span_y.set(count=y_result.count, ticks=y_result.total_ticks)
+            self.counter.disable()
 
-        if max(abs(x_result.count), abs(y_result.count)) < self.MINIMUM_COUNT:
-            raise ProtocolError(
-                f"field too weak: counter pair ({x_result.count}, "
-                f"{y_result.count}) below the {self.MINIMUM_COUNT}-count "
-                "trust threshold — no heading computed"
-            )
-        cordic_result = self.cordic.arctan_first_quadrant(
-            abs(-y_result.count), abs(x_result.count)
-        )
-        heading = self.cordic.heading_degrees(x_result.count, y_result.count)
+            if max(abs(x_result.count), abs(y_result.count)) < self.MINIMUM_COUNT:
+                raise ProtocolError(
+                    f"field too weak: counter pair ({x_result.count}, "
+                    f"{y_result.count}) below the {self.MINIMUM_COUNT}-count "
+                    "trust threshold — no heading computed"
+                )
+            with observer.span(STAGE_CORDIC) as cordic_span:
+                cordic_result = self.cordic.arctan_first_quadrant(
+                    abs(-y_result.count), abs(x_result.count),
+                    record_steps=tracing,
+                )
+                heading = self.cordic.heading_degrees(
+                    x_result.count, y_result.count
+                )
+                cordic_span.set(
+                    iterations=cordic_result.cycles,
+                    angle_deg=cordic_result.angle_deg,
+                    heading_deg=heading,
+                )
+                for step in cordic_result.steps:
+                    # Retrospective per-iteration spans: the datapath is
+                    # combinational, so structure (not wall time) is the
+                    # information — residuals sensitise ROM/datapath bugs.
+                    with observer.span(
+                        f"{STAGE_CORDIC_ITER}.{step.iteration}"
+                    ) as it:
+                        it.set(
+                            shift=step.shift,
+                            rotated=step.rotated,
+                            residual_y=step.y_reg,
+                            x_reg=step.x_reg,
+                            angle_fixed=step.angle_fixed,
+                        )
 
         result = BackEndResult(
             x_count=x_result.count,

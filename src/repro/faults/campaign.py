@@ -34,13 +34,17 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..batch import BatchCompass
 from ..btest.interconnect import SubstrateHarness
 from ..core.compass import CompassConfig, IntegratedCompass
 from ..core.health import HealthConfig
 from ..errors import ConfigurationError, ReproError
+from ..observe import (
+    ERROR_BUCKETS_DEG,
+    M_CAMPAIGN_CELLS,
+    M_CAMPAIGN_ERROR,
+    MetricsRegistry,
+)
 from ..soc.mcm import build_compass_mcm
 from ..units import TARGET_ACCURACY_DEG
 from .model import REGISTRY, FaultRegistry, FaultSpec
@@ -144,6 +148,10 @@ class FaultCampaign:
     tolerance_deg:
         Unflagged-error threshold separating *benign* from
         *silent-wrong*; defaults to the paper's 1° accuracy spec.
+    metrics:
+        Optional :class:`~repro.observe.MetricsRegistry`; when given the
+        campaign counts every classified cell by (path, outcome) and
+        accumulates a heading-error histogram per path.
     """
 
     def __init__(
@@ -154,6 +162,7 @@ class FaultCampaign:
         registry: FaultRegistry = REGISTRY,
         faults: Optional[Sequence[str]] = None,
         tolerance_deg: float = TARGET_ACCURACY_DEG,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if len(headings_deg) == 0:
             raise ConfigurationError("campaign needs at least one heading")
@@ -168,6 +177,7 @@ class FaultCampaign:
         self.registry = registry
         self.fault_names = list(faults) if faults is not None else registry.names()
         self.tolerance_deg = tolerance_deg
+        self.metrics = metrics
         for name in self.fault_names:
             registry.get(name)  # fail fast on unknown names
 
@@ -268,6 +278,19 @@ class FaultCampaign:
         error: Optional[float],
         detail: str,
     ) -> CampaignCell:
+        if self.metrics is not None:
+            self.metrics.counter(
+                M_CAMPAIGN_CELLS,
+                "classified fault-campaign cells, by path and outcome",
+                ("path", "outcome"),
+            ).inc(path=path, outcome=outcome.value)
+            if error is not None:
+                self.metrics.histogram(
+                    M_CAMPAIGN_ERROR,
+                    "absolute circular heading error of campaign cells",
+                    ("path",),
+                    buckets=ERROR_BUCKETS_DEG,
+                ).observe(error, path=path)
         return CampaignCell(
             fault=spec.name,
             severity=severity,

@@ -1,0 +1,169 @@
+"""Observability configuration and the per-compass :class:`Observer`.
+
+One frozen :class:`Observability` record rides on
+:class:`~repro.core.compass.CompassConfig` (disabled by default) and is
+resolved once, at compass construction, into an :class:`Observer` — the
+nullable bundle of one :class:`~repro.observe.trace.Tracer` and one
+:class:`~repro.observe.metrics.MetricsRegistry` that every instrumented
+subsystem consults.
+
+The contract call sites rely on:
+
+* ``observer.tracer is None``/``observer.metrics is None`` when the
+  corresponding half is off — instrumentation guards on exactly that,
+  so the disabled hot path costs one attribute check;
+* :data:`DISABLED` is the shared do-nothing observer, safe to attach
+  anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .metrics import MetricsRegistry
+from .trace import JSONLSink, NULL_SPAN, RingBufferSink, Tracer, VCDSink
+
+# -- metric taxonomy -----------------------------------------------------------
+# Every metric the instrumented stack emits, in one place; the labels per
+# metric are documented in docs/observability.md and pinned by
+# tests/test_observe.py.
+
+M_MEASUREMENTS = "compass_measurements_total"      # {path, status}
+M_COUNTER_TICKS = "compass_counter_ticks_total"    # {path, channel}
+M_HEADING = "compass_heading_deg"                  # {path} histogram
+M_FIELD = "compass_field_estimate_ut"              # {path} histogram
+M_HEALTH_CHECKS = "health_checks_total"            # {check, outcome}
+M_HEALTH_FALLBACKS = "health_fallbacks_total"      # {kind}
+M_BATCH_ROWS = "batch_rows_total"                  # {}
+M_BATCH_CHUNKS = "batch_chunks_total"              # {channel}
+M_CACHE_EVENTS = "excitation_cache_total"          # {event: hit|miss}
+M_CAMPAIGN_CELLS = "campaign_cells_total"          # {path, outcome}
+M_CAMPAIGN_ERROR = "campaign_error_deg"            # {path} histogram
+
+#: Heading histogram buckets: the eight compass octants.
+HEADING_BUCKETS = (45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0, 360.0)
+#: Field-estimate buckets [µT]: below-band, the §1 worldwide 25…65 µT
+#: span, and the out-of-band overflow the health supervisor flags.
+FIELD_BUCKETS_UT = (10.0, 25.0, 35.0, 45.0, 55.0, 65.0, 97.5, 130.0)
+#: Heading-error buckets [deg] for campaign cells: inside the paper's 1°
+#: spec, near-misses, and gross failures.
+ERROR_BUCKETS_DEG = (0.25, 0.5, 1.0, 2.0, 5.0, 15.0, 45.0, 180.0)
+
+
+@dataclass(frozen=True)
+class Observability:
+    """Opt-in switchboard for tracing + metrics on one compass.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; ``False`` (the default) resolves to
+        :data:`DISABLED` and leaves the measurement hot path untouched.
+    tracing, metrics:
+        Sub-switches for the two halves.
+    ring_capacity:
+        Root spans (= measurements) kept by the in-memory ring sink.
+    jsonl_path:
+        When set, every finished span is appended to this JSONL file.
+    vcd_path:
+        When set, span activity is rendered as VCD waveforms on
+        :meth:`Observer.close` via :mod:`repro.simulation.vcd`.
+    vcd_timescale_ns:
+        Timescale of the VCD export (wall-clock nanoseconds per unit).
+    """
+
+    enabled: bool = False
+    tracing: bool = True
+    metrics: bool = True
+    ring_capacity: int = 256
+    jsonl_path: Optional[str] = None
+    vcd_path: Optional[str] = None
+    vcd_timescale_ns: float = 1000.0
+
+    @classmethod
+    def on(cls, **overrides) -> "Observability":
+        """Shorthand for an enabled configuration."""
+        return cls(enabled=True, **overrides)
+
+
+class Observer:
+    """The resolved (tracer, metrics) pair one compass reports into."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer is not None or self.metrics is not None
+
+    def span(self, name: str, **attributes):
+        """A traced span, or the shared no-op span when tracing is off."""
+        if self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.span(name, **attributes)
+
+    def ring(self) -> Optional[RingBufferSink]:
+        """The tracer's ring-buffer sink, if one is attached."""
+        if self.tracer is None:
+            return None
+        for sink in self.tracer.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink
+        return None
+
+    def close(self) -> None:
+        """Flush file-backed sinks (JSONL, VCD)."""
+        if self.tracer is not None:
+            self.tracer.close()
+
+
+#: The do-nothing observer every un-instrumented component carries.
+DISABLED = Observer()
+
+
+def build_observer(config: Observability) -> Observer:
+    """Resolve an :class:`Observability` record into a live observer."""
+    if not config.enabled:
+        return DISABLED
+    tracer = None
+    if config.tracing:
+        sinks: list = [RingBufferSink(config.ring_capacity)]
+        if config.jsonl_path is not None:
+            sinks.append(JSONLSink(config.jsonl_path))
+        if config.vcd_path is not None:
+            sinks.append(
+                VCDSink(config.vcd_path, timescale_ns=config.vcd_timescale_ns)
+            )
+        tracer = Tracer(sinks=sinks)
+    metrics = MetricsRegistry() if config.metrics else None
+    return Observer(tracer=tracer, metrics=metrics)
+
+
+__all__ = [
+    "DISABLED",
+    "ERROR_BUCKETS_DEG",
+    "FIELD_BUCKETS_UT",
+    "HEADING_BUCKETS",
+    "M_BATCH_CHUNKS",
+    "M_BATCH_ROWS",
+    "M_CACHE_EVENTS",
+    "M_CAMPAIGN_CELLS",
+    "M_CAMPAIGN_ERROR",
+    "M_COUNTER_TICKS",
+    "M_FIELD",
+    "M_HEADING",
+    "M_HEALTH_CHECKS",
+    "M_HEALTH_FALLBACKS",
+    "M_MEASUREMENTS",
+    "Observability",
+    "Observer",
+    "build_observer",
+]

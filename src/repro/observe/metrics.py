@@ -1,0 +1,269 @@
+"""Labelled counters, gauges and histograms for the compass runtime.
+
+A deliberately small, zero-dependency metrics model in the Prometheus
+idiom: a :class:`MetricsRegistry` owns named instruments, each
+instrument fans out into one *series* per label combination, and
+``snapshot()`` freezes the whole registry into plain dicts for the CLI,
+JSON export or assertions in tests.
+
+Histograms use fixed upper-bound buckets and expose their state as an
+immutable :class:`HistogramState` whose :meth:`~HistogramState.merge`
+is associative and commutative (property-pinned by
+``tests/test_property_observe.py``) — the algebra that makes per-shard
+metric aggregation order-independent when many compasses report to one
+collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+
+LabelValue = Union[str, int, float, bool]
+_SeriesKey = Tuple[str, ...]
+
+#: Default histogram buckets: a generic latency/size ladder; instruments
+#: with a natural scale (degrees, microtesla) pass their own.
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+def _series_key(
+    labelnames: Tuple[str, ...], labels: Dict[str, LabelValue], metric: str
+) -> _SeriesKey:
+    if set(labels) != set(labelnames):
+        raise ConfigurationError(
+            f"metric {metric!r} wants labels {labelnames}, got "
+            f"{tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+@dataclass(frozen=True)
+class HistogramState:
+    """Immutable histogram contents: bucket counts + sum + count.
+
+    ``bounds`` are inclusive upper bounds; an implicit +inf bucket
+    catches the overflow, so ``len(counts) == len(bounds) + 1``.
+    """
+
+    bounds: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    total: float = 0.0
+    n: int = 0
+
+    @classmethod
+    def empty(cls, bounds: Sequence[float]) -> "HistogramState":
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError("bucket bounds must be strictly increasing")
+        return cls(bounds=bounds, counts=(0,) * (len(bounds) + 1))
+
+    def observe(self, value: float) -> "HistogramState":
+        """A new state with one more observation recorded."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        counts = list(self.counts)
+        counts[index] += 1
+        return HistogramState(
+            bounds=self.bounds,
+            counts=tuple(counts),
+            total=self.total + value,
+            n=self.n + 1,
+        )
+
+    def merge(self, other: "HistogramState") -> "HistogramState":
+        """Combine two histograms observed against the same bounds.
+
+        Associative and commutative: merging per-shard histograms in any
+        grouping or order yields the same aggregate.
+        """
+        if self.bounds != other.bounds:
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        return HistogramState(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            total=self.total + other.total,
+            n=self.n + other.n,
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.n,
+        }
+
+
+class _Instrument:
+    """Shared machinery: a named family of label-keyed series."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str, labelnames: Tuple[str, ...]):
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+
+    def _key(self, labels: Dict[str, LabelValue]) -> _SeriesKey:
+        return _series_key(self.labelnames, labels, self.name)
+
+    def _labels_dict(self, key: _SeriesKey) -> Dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, e.g. measurements served."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Tuple[str, ...]):
+        super().__init__(name, help, labelnames)
+        self._series: Dict[_SeriesKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: LabelValue) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: LabelValue) -> float:
+        return self._series.get(self._key(labels), 0.0)
+
+    def series(self) -> List[Dict]:
+        return [
+            {"labels": self._labels_dict(key), "value": value}
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Gauge(_Instrument):
+    """Last-observed value, e.g. the most recent field estimate."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: Tuple[str, ...]):
+        super().__init__(name, help, labelnames)
+        self._series: Dict[_SeriesKey, float] = {}
+
+    def set(self, value: float, **labels: LabelValue) -> None:
+        self._series[self._key(labels)] = float(value)
+
+    def value(self, **labels: LabelValue) -> float:
+        return self._series.get(self._key(labels), 0.0)
+
+    def series(self) -> List[Dict]:
+        return [
+            {"labels": self._labels_dict(key), "value": value}
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Histogram(_Instrument):
+    """Distribution of observed values over fixed buckets."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        self._empty = HistogramState.empty(buckets)
+        self._series: Dict[_SeriesKey, HistogramState] = {}
+
+    def observe(self, value: float, **labels: LabelValue) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, self._empty).observe(value)
+
+    def state(self, **labels: LabelValue) -> HistogramState:
+        return self._series.get(self._key(labels), self._empty)
+
+    def series(self) -> List[Dict]:
+        return [
+            {"labels": self._labels_dict(key), **state.to_dict()}
+            for key, state in sorted(self._series.items())
+        ]
+
+
+class MetricsRegistry:
+    """Named instruments with idempotent registration.
+
+    Several subsystems (compass core, health supervisor, batch engine)
+    share one registry; re-requesting an instrument with the same
+    (kind, labelnames) returns the existing one, while a conflicting
+    re-registration raises — silent shadowing would split series across
+    two objects.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        labelnames = tuple(labelnames)
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != labelnames:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.labelnames}"
+                )
+            return existing
+        instrument = cls(name, help, labelnames, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Freeze every instrument into plain JSON-friendly dicts."""
+        return {
+            name: {
+                "type": instrument.kind,
+                "help": instrument.help,
+                "labelnames": list(instrument.labelnames),
+                "series": instrument.series(),
+            }
+            for name, instrument in sorted(self._instruments.items())
+        }

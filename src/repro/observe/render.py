@@ -1,0 +1,94 @@
+"""Human-readable rendering of span trees and metrics snapshots.
+
+Backs the ``repro trace`` and ``repro metrics`` CLI commands; pure
+string formatting so tests can pin the structure without a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .trace import Span
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _format_attributes(span: Span) -> str:
+    if not span.attributes:
+        return ""
+    parts = [
+        f"{key}={_format_value(value)}"
+        for key, value in span.attributes.items()
+    ]
+    return "  " + " ".join(parts)
+
+
+def render_span_tree(root: Span) -> str:
+    """One measurement's span tree as an indented box-drawing tree."""
+    lines: List[str] = []
+
+    def _render(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        duration_us = span.duration_s * 1e6
+        label = (
+            f"{span.name} ({duration_us:.0f} us)"
+            f"{'' if span.status == 'ok' else ' [' + span.status + ']'}"
+            f"{_format_attributes(span)}"
+        )
+        if is_root:
+            lines.append(label)
+            child_prefix = ""
+        else:
+            connector = "`- " if is_last else "|- "
+            lines.append(prefix + connector + label)
+            child_prefix = prefix + ("   " if is_last else "|  ")
+        for i, child in enumerate(span.children):
+            _render(child, child_prefix, i == len(span.children) - 1, False)
+
+    _render(root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_span_trees(roots: Sequence[Span]) -> str:
+    """Several root spans, blank-line separated."""
+    return "\n\n".join(render_span_tree(root) for root in roots)
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_metrics(snapshot: Dict[str, Dict]) -> str:
+    """A metrics snapshot in a Prometheus-exposition-like text form."""
+    lines: List[str] = []
+    for name, record in snapshot.items():
+        if record["help"]:
+            lines.append(f"# HELP {name} {record['help']}")
+        lines.append(f"# TYPE {name} {record['type']}")
+        for series in record["series"]:
+            labels = _render_labels(series["labels"])
+            if record["type"] == "histogram":
+                cumulative = 0
+                for bound, count in zip(series["bounds"], series["counts"]):
+                    cumulative += count
+                    bucket_labels = dict(series["labels"], le=f"{bound:g}")
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                bucket_labels = dict(series["labels"], le="+Inf")
+                lines.append(
+                    f"{name}_bucket{_render_labels(bucket_labels)} "
+                    f"{series['count']}"
+                )
+                lines.append(f"{name}_sum{labels} {series['sum']:g}")
+                lines.append(f"{name}_count{labels} {series['count']}")
+            else:
+                lines.append(f"{name}{labels} {series['value']:g}")
+    return "\n".join(lines)

@@ -45,8 +45,10 @@ class TestHeadingSweep:
         assert len(headings) == 8
         assert max(headings) - min(headings) > 300.0
 
+    @pytest.mark.slow
     def test_paper_accuracy_on_sweep(self, compass):
-        # The §6 claim at the default design point.
+        # The §6 claim at the default design point; test_paper_claims.py
+        # keeps a smaller sweep of the same claim in the default tier.
         points = heading_sweep(compass, n_points=24)
         stats = sweep_stats(points)
         assert stats.meets(1.0)

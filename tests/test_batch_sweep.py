@@ -47,6 +47,10 @@ def assert_bit_identical(batch, scalar):
 
 
 class TestBitIdentity:
+    # The golden suite (test_golden_vectors.py) pins batch-vs-scalar
+    # bit-identity on every default run; this wider sweep stays as the
+    # slow-tier exhaustive check.
+    @pytest.mark.slow
     @pytest.mark.parametrize("magnitude_t", [25e-6, 50e-6, 65e-6])
     def test_full_circle_matches_scalar(self, magnitude_t):
         headings = headings_evenly_spaced(12, 0.5)

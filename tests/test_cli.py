@@ -24,6 +24,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "measure", "sweep", "power", "area", "scan", "watch", "faults",
+            "trace", "metrics",
         ):
             args = parser.parse_args([command])
             assert args.command == command
@@ -85,6 +86,44 @@ class TestScan:
     def test_unknown_fault_kind(self, capsys):
         assert main(["scan", "--fault", "melted:x_pick_p"]) == 2
         assert "unknown fault kind" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_trace_prints_full_span_tree(self, capsys):
+        assert main(["trace", "--heading", "45"]) == 0
+        out = capsys.readouterr().out
+        for stage in (
+            "measure", "channel.x", "channel.y", "excitation", "pickup",
+            "comparator", "backend", "counter.x", "counter.y", "cordic",
+            "cordic.iter.7",
+        ):
+            assert stage in out
+        assert "heading_deg=45" in out
+
+    def test_trace_batch_writes_sinks(self, capsys, tmp_path):
+        vcd = tmp_path / "trace.vcd"
+        jsonl = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--batch", "--vcd", str(vcd), "--jsonl", str(jsonl),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch.sweep" in out
+        assert "$timescale" in vcd.read_text()
+        records = [
+            json.loads(line)
+            for line in jsonl.read_text().splitlines()
+        ]
+        assert any(r["name"] == "batch.sweep" for r in records)
+
+
+class TestMetricsCommand:
+    def test_metrics_counts_both_paths(self, capsys):
+        assert main(["metrics", "--points", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "compass_measurements_total{path=batch,status=ok} 1" in out
+        assert "compass_measurements_total{path=scalar,status=ok} 1" in out
+        assert "health_checks_total" in out
+        assert "excitation_cache_total" in out
 
 
 class TestDatasheet:

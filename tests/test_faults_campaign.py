@@ -58,6 +58,7 @@ class TestSpecValidation:
             FaultCampaign(faults=["sensor.does_not_exist"])
 
 
+@pytest.mark.slow
 class TestSmokeCampaign:
     """The acceptance-criteria campaign: every fault, both paths."""
 

@@ -1,0 +1,181 @@
+"""Unit tests for the ``repro.observe`` subsystem itself.
+
+The golden suite (``test_golden_vectors.py``) proves instrumentation
+does not move output bits; this module pins the observability
+machinery's own contracts: sink behaviour, registry validation, the
+disabled fast path, and the renderers.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observe import (
+    DISABLED,
+    JSONLSink,
+    MetricsRegistry,
+    NULL_SPAN,
+    Observability,
+    Observer,
+    RingBufferSink,
+    Tracer,
+    VCDSink,
+    build_observer,
+    render_metrics,
+    render_span_tree,
+)
+
+
+class TestDisabledPath:
+    def test_disabled_observer_is_inert(self):
+        assert DISABLED.tracer is None
+        assert DISABLED.metrics is None
+        assert not DISABLED.enabled
+        assert DISABLED.span("anything", key=1) is NULL_SPAN
+
+    def test_null_span_is_a_stateless_no_op(self):
+        with NULL_SPAN as span:
+            span.set(a=1, b="two")
+        assert span is NULL_SPAN
+        assert NULL_SPAN.set(x=2) is NULL_SPAN
+
+    def test_default_config_builds_disabled_observer(self):
+        observer = build_observer(Observability())
+        assert observer is DISABLED
+
+    def test_on_builds_enabled_observer(self):
+        observer = build_observer(Observability.on())
+        assert observer.enabled
+        assert observer.tracer is not None
+        assert observer.metrics is not None
+        assert observer.ring() is not None
+
+    def test_tracing_and_metrics_gate_independently(self):
+        tracing_only = build_observer(Observability.on(metrics=False))
+        assert tracing_only.tracer is not None
+        assert tracing_only.metrics is None
+        metrics_only = build_observer(Observability.on(tracing=False))
+        assert metrics_only.tracer is None
+        assert metrics_only.metrics is not None
+        assert metrics_only.span("x") is NULL_SPAN
+
+
+class TestSinks:
+    def test_ring_buffer_evicts_oldest_roots(self):
+        ring = RingBufferSink(capacity=2)
+        tracer = Tracer([ring])
+        for index in range(4):
+            with tracer.span(f"root.{index}"):
+                with tracer.span("child"):
+                    pass
+        names = [root.name for root in ring.roots]
+        assert names == ["root.2", "root.3"]
+
+    def test_ring_buffer_keeps_only_roots(self):
+        ring = RingBufferSink()
+        tracer = Tracer([ring])
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [root.name for root in ring.roots] == ["root"]
+        assert [c.name for c in ring.roots[0].children] == ["child"]
+
+    def test_jsonl_sink_streams_every_finished_span(self):
+        handle = io.StringIO()
+        tracer = Tracer([JSONLSink(handle)])
+        with tracer.span("root", kind="demo"):
+            with tracer.span("child"):
+                pass
+        records = [
+            json.loads(line) for line in handle.getvalue().splitlines()
+        ]
+        # Children finish (and stream) before their parent.
+        assert [r["name"] for r in records] == ["child", "root"]
+        assert records[1]["attributes"] == {"kind": "demo"}
+        assert records[0]["parent_id"] == records[1]["span_id"]
+
+    def test_vcd_sink_renders_one_wire_per_span_name(self):
+        sink = VCDSink()
+        tracer = Tracer([sink])
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        text = sink.render()
+        assert "$var wire 1" in text
+        assert "outer" in text and "inner" in text
+        assert "$enddefinitions" in text
+
+    def test_tracer_close_with_open_span_is_loud(self):
+        tracer = Tracer()
+        tracer.span("open").__enter__()
+        with pytest.raises(ConfigurationError):
+            tracer.close()
+
+
+class TestMetricsRegistry:
+    def test_conflicting_reregistration_is_loud(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", labelnames=("kind",))
+        with pytest.raises(ConfigurationError):
+            registry.gauge("events_total")
+        with pytest.raises(ConfigurationError):
+            registry.counter("events_total", labelnames=("other",))
+
+    def test_label_set_must_match_exactly(self):
+        counter = MetricsRegistry().counter("c", labelnames=("path",))
+        with pytest.raises(ConfigurationError):
+            counter.inc()
+        with pytest.raises(ConfigurationError):
+            counter.inc(path="scalar", extra="no")
+
+    def test_counter_cannot_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+    def test_gauge_holds_last_value(self):
+        gauge = MetricsRegistry().gauge("g", labelnames=("axis",))
+        gauge.set(1.5, axis="x")
+        gauge.set(2.5, axis="x")
+        assert gauge.value(axis="x") == 2.5
+
+
+class TestRenderers:
+    def test_span_tree_rendering_shows_structure_and_attrs(self):
+        ring = RingBufferSink()
+        tracer = Tracer([ring])
+        with tracer.span("root") as root:
+            root.set(path="scalar")
+            with tracer.span("leaf"):
+                pass
+        text = render_span_tree(ring.roots[0])
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert "path=scalar" in lines[0]
+        assert lines[1].lstrip().startswith("`- leaf")
+
+    def test_metrics_rendering_is_prometheus_shaped(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "demo", ("kind",)).inc(kind="a")
+        registry.histogram("lat", "demo", buckets=(1.0, 2.0)).observe(1.5)
+        text = render_metrics(registry.snapshot())
+        assert "# TYPE events_total counter" in text
+        assert "events_total{kind=a} 1" in text
+        assert "lat_bucket{le=2} 1" in text
+        assert "lat_bucket{le=+Inf} 1" in text
+        assert "lat_count 1" in text
+
+
+class TestObserverErrors:
+    def test_error_inside_span_marks_status_and_rethrows(self):
+        ring = RingBufferSink()
+        observer = Observer(tracer=Tracer([ring]))
+        with pytest.raises(ValueError):
+            with observer.span("failing"):
+                raise ValueError("boom")
+        (root,) = ring.roots
+        assert root.status == "error"
+        assert "boom" in str(root.attributes.get("error", ""))
+        assert observer.tracer.balanced

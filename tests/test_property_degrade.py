@@ -1,0 +1,79 @@
+"""Property: graceful degradation never lies.
+
+Generated directly from the fault registry: under **any** single
+registered measurement-probe fault at **any** documented severity and a
+random heading, a compass with ``HealthConfig(degrade=True)`` must do
+one of exactly three honest things:
+
+* raise a typed :class:`~repro.errors.ReproError` (loud detection),
+* return a measurement whose health record is flagged non-clean, or
+* return an unflagged heading within the paper's 1 degree accuracy spec
+  of the fault-free heading at the same inputs (the fault is below the
+  resolution floor).
+
+An unflagged heading further than that from the fault-free answer is a
+*silent wrong* — the confident lie the health subsystem exists to make
+impossible.  The fault list is derived from the registry at import time,
+so newly registered faults are swept automatically.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.core.health import HealthConfig
+from repro.errors import ReproError
+from repro.faults.campaign import heading_error_deg
+from repro.faults.model import REGISTRY
+from repro.units import TARGET_ACCURACY_DEG
+
+MEASUREMENT_FAULTS = tuple(
+    name for name in REGISTRY.names()
+    if REGISTRY.get(name).probe == "measurement"
+)
+
+#: (fault name, severity) cells straight out of the registry.
+fault_cells = st.sampled_from([
+    (name, severity)
+    for name in MEASUREMENT_FAULTS
+    for severity in REGISTRY.get(name).severities
+])
+
+headings = st.one_of(
+    st.sampled_from((0.5, 45.0, 123.0, 222.25, 300.0, 359.5)),
+    st.floats(min_value=0.0, max_value=359.99),
+)
+
+
+def test_registry_has_measurement_faults():
+    assert len(MEASUREMENT_FAULTS) >= 9
+
+
+@settings(max_examples=10, deadline=None)
+@given(cell=fault_cells, heading=headings)
+def test_no_silent_wrong_under_any_single_fault(cell, heading):
+    fault, severity = cell
+    compass = IntegratedCompass(
+        CompassConfig(health=HealthConfig(degrade=True))
+    )
+    # Fault-free reference at the same inputs; also arms the
+    # last-known-good fallback, matching a mid-service failure.
+    clean = compass.measure_heading(heading, 50.0e-6)
+
+    with REGISTRY.inject(fault, compass, severity):
+        try:
+            faulty = compass.measure_heading(heading, 50.0e-6)
+        except ReproError:
+            return  # loud detection: honest.
+
+    if faulty.degraded:
+        assert faulty.health is not None
+        assert faulty.health.status != "ok"
+        assert faulty.health.flags or faulty.health.fallback
+        return  # flagged: honest.
+
+    # Unflagged: must match the fault-free answer to within spec.
+    error = heading_error_deg(faulty.heading_deg, clean.heading_deg)
+    assert error <= TARGET_ACCURACY_DEG, (
+        f"SILENT WRONG: {fault} sev={severity} heading={heading} "
+        f"unflagged error {error:.3f} deg"
+    )

@@ -1,0 +1,204 @@
+"""Property-based tests for the observability layer.
+
+Three algebraic contracts, pinned over random inputs:
+
+* **Span trees are well-nested** — any program of nested ``span()``
+  blocks leaves the tracer balanced and every finished root passing
+  :func:`~repro.observe.validate_tree` (parent links, depths, interval
+  containment), including when the body raises.
+* **Histogram merge is a commutative monoid** — ``merge`` is
+  associative and commutative with the empty state as identity, the
+  algebra that makes per-shard aggregation order-independent.  Values
+  are integer-valued floats so float addition is exact and ``==`` is
+  the honest comparison.
+* **Campaign metrics equal a recount** — after a random slice of the
+  fault campaign, the ``campaign_cells_total`` counter series and the
+  ``campaign_error_deg`` histogram equal totals recomputed from the
+  returned cells: the metrics path cannot drift from the data path.
+"""
+
+from collections import Counter as TallyCounter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import DEFAULT_HEADINGS, FaultCampaign
+from repro.faults.model import REGISTRY
+from repro.observe import (
+    ERROR_BUCKETS_DEG,
+    HistogramState,
+    M_CAMPAIGN_CELLS,
+    M_CAMPAIGN_ERROR,
+    MetricsRegistry,
+    RingBufferSink,
+    Tracer,
+    validate_tree,
+)
+
+
+def _ring_tracer():
+    ring = RingBufferSink(capacity=64)
+    return Tracer([ring]), ring
+
+# -- span nesting --------------------------------------------------------------
+
+#: Random tree shapes: each node is a list of child shapes.
+tree_shapes = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, max_size=3),
+    max_leaves=12,
+)
+
+
+def _execute(tracer, shape, depth=0):
+    """Run one span per node, children inside parents."""
+    for index, child_shape in enumerate(shape):
+        with tracer.span(f"n{depth}.{index}", depth_hint=depth):
+            _execute(tracer, child_shape, depth + 1)
+
+
+def _count_nodes(shape):
+    return sum(1 + _count_nodes(child) for child in shape)
+
+
+class TestSpanNesting:
+    @given(shape=tree_shapes)
+    def test_any_nesting_program_is_well_nested(self, shape):
+        tracer, ring = _ring_tracer()
+        _execute(tracer, shape)
+        assert tracer.balanced
+        assert tracer.finished_spans == _count_nodes(shape)
+        roots = ring.roots
+        assert len(roots) == len(shape)
+        for root in roots:
+            validate_tree(root)
+        total = sum(1 for root in roots for _ in root.walk())
+        assert total == _count_nodes(shape)
+
+    @given(shape=tree_shapes, fail_at=st.integers(min_value=0, max_value=11))
+    def test_exceptions_leave_tracer_balanced(self, shape, fail_at):
+        tracer, ring = _ring_tracer()
+        seen = [0]
+
+        def run(sub, depth=0):
+            for index, child in enumerate(sub):
+                with tracer.span(f"n{depth}.{index}"):
+                    if seen[0] == fail_at:
+                        seen[0] += 1
+                        raise RuntimeError("injected")
+                    seen[0] += 1
+                    run(child, depth + 1)
+
+        try:
+            run(shape)
+        except RuntimeError:
+            pass
+        assert tracer.balanced
+        for root in ring.roots:
+            validate_tree(root)
+
+    def test_out_of_order_close_is_loud(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        outer.__enter__()
+        inner = tracer.span("inner")
+        inner.__enter__()
+        with pytest.raises(ConfigurationError):
+            outer.__exit__(None, None, None)
+
+
+# -- histogram algebra ---------------------------------------------------------
+
+bucket_bounds = st.lists(
+    st.integers(min_value=-100, max_value=100),
+    min_size=1, max_size=6, unique=True,
+).map(lambda bs: tuple(float(b) for b in sorted(bs)))
+
+int_values = st.lists(
+    st.integers(min_value=-1000, max_value=1000), max_size=30
+)
+
+
+def _state(bounds, values):
+    state = HistogramState.empty(bounds)
+    for value in values:
+        state = state.observe(float(value))
+    return state
+
+
+class TestHistogramMergeAlgebra:
+    @given(bounds=bucket_bounds, a=int_values, b=int_values)
+    def test_commutative(self, bounds, a, b):
+        sa, sb = _state(bounds, a), _state(bounds, b)
+        assert sa.merge(sb) == sb.merge(sa)
+
+    @given(bounds=bucket_bounds, a=int_values, b=int_values, c=int_values)
+    def test_associative(self, bounds, a, b, c):
+        sa, sb, sc = (_state(bounds, vs) for vs in (a, b, c))
+        assert sa.merge(sb).merge(sc) == sa.merge(sb.merge(sc))
+
+    @given(bounds=bucket_bounds, a=int_values)
+    def test_empty_is_identity(self, bounds, a):
+        sa = _state(bounds, a)
+        empty = HistogramState.empty(bounds)
+        assert sa.merge(empty) == sa
+        assert empty.merge(sa) == sa
+
+    @given(bounds=bucket_bounds, a=int_values, b=int_values)
+    def test_merge_equals_concatenation(self, bounds, a, b):
+        merged = _state(bounds, a).merge(_state(bounds, b))
+        assert merged == _state(bounds, list(a) + list(b))
+        assert merged.n == len(a) + len(b)
+        assert sum(merged.counts) == merged.n
+
+    @given(bounds=bucket_bounds, a=int_values)
+    def test_mismatched_bounds_refuse_to_merge(self, bounds, a):
+        shifted = tuple(b + 1000.0 for b in bounds)
+        with pytest.raises(ConfigurationError):
+            _state(bounds, a).merge(HistogramState.empty(shifted))
+
+
+# -- campaign metrics vs recount ----------------------------------------------
+
+MEASUREMENT_FAULTS = tuple(
+    name for name in REGISTRY.names()
+    if REGISTRY.get(name).probe == "measurement"
+)
+
+
+class TestCampaignMetricsRecount:
+    @settings(max_examples=3, deadline=None)
+    @given(data=st.data())
+    def test_counters_equal_recomputed_totals(self, data):
+        fault = data.draw(st.sampled_from(MEASUREMENT_FAULTS))
+        heading = data.draw(st.sampled_from(DEFAULT_HEADINGS))
+        path = data.draw(st.sampled_from(("scalar", "batch")))
+        metrics = MetricsRegistry()
+        campaign = FaultCampaign(
+            headings_deg=(heading,),
+            paths=(path,),
+            faults=[fault],
+            metrics=metrics,
+        )
+        result = campaign.run()
+        assert result.cells, "campaign slice produced no cells"
+
+        counter = metrics.get(M_CAMPAIGN_CELLS)
+        expected = TallyCounter(
+            (cell.path, cell.outcome.value) for cell in result.cells
+        )
+        for (cell_path, outcome), count in expected.items():
+            assert counter.value(path=cell_path, outcome=outcome) == count
+        assert sum(s["value"] for s in counter.series()) == len(result.cells)
+
+        errors = [
+            cell.error_deg for cell in result.cells
+            if cell.error_deg is not None
+        ]
+        histogram = metrics.get(M_CAMPAIGN_ERROR)
+        if errors:
+            state = histogram.state(path=path)
+            assert state.bounds == ERROR_BUCKETS_DEG
+            assert state.n == len(errors)
+            assert state.total == sum(errors)
