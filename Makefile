@@ -1,6 +1,6 @@
 # Convenience targets for the compass reproduction.
 
-.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults all
+.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak all
 
 install:
 	pip install -e . || python setup.py develop
@@ -47,6 +47,15 @@ examples:
 # the scalar + batch + scan paths; exits nonzero on any silent-wrong cell.
 faults:
 	PYTHONPATH=src python -m repro faults --json BENCH_faults.json
+
+# Replicated heading service demo: verdicts and breaker states live.
+serve-sim:
+	PYTHONPATH=src python -m repro serve-sim --requests 8
+
+# Seeded chaos soak against the service; exits nonzero if silent-wrong
+# rises above zero or availability misses the floor.
+soak:
+	PYTHONPATH=src python -m repro soak --requests 100 --json BENCH_service.json
 
 datasheet:
 	python -m repro datasheet

@@ -12,7 +12,8 @@ The package mirrors the paper's system decomposition:
 * :mod:`repro.core` — the integrated compass plus accuracy/power analysis,
 * :mod:`repro.soc` — Sea-of-Gates array and MCM resource models (§2),
 * :mod:`repro.btest` — IEEE 1149.1 boundary-scan test structures [Oli96],
-* :mod:`repro.faults` — fault injection and runtime-health campaigns,
+* :mod:`repro.faults` — fault injection, chaos soak and health campaigns,
+* :mod:`repro.service` — the resilient replicated heading service,
 * :mod:`repro.simulation` — the mixed-signal simulation engine (§5).
 
 Quickstart::
@@ -27,34 +28,44 @@ from .core.compass import CompassConfig, IntegratedCompass
 from .core.heading import HeadingMeasurement, compass_point
 from .core.health import HealthConfig, HealthReport
 from .observe import Observability
+from .service import HeadingService, ServiceConfig, ServiceVerdict
 from .errors import (
     CalibrationError,
+    CircuitOpenError,
     ComplianceError,
     ConfigurationError,
     DegradedOperationError,
     FaultError,
     ProtocolError,
+    QuorumError,
     ReproError,
     ResourceError,
+    ServiceError,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CalibrationError",
+    "CircuitOpenError",
     "CompassConfig",
     "ComplianceError",
     "ConfigurationError",
     "DegradedOperationError",
     "FaultError",
     "HeadingMeasurement",
+    "HeadingService",
     "HealthConfig",
     "HealthReport",
     "IntegratedCompass",
     "Observability",
     "ProtocolError",
+    "QuorumError",
     "ReproError",
     "ResourceError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceVerdict",
     "compass_point",
     "__version__",
 ]

@@ -10,6 +10,10 @@ Gives the library a bench-top feel without writing code:
 * ``faults`` — the fault-injection campaign (``repro.faults``),
 * ``trace`` — run a measurement with tracing on and print the span tree,
 * ``metrics`` — exercise both measurement paths and dump the metrics,
+* ``serve-sim`` — drive the replicated heading service, optionally with
+  a fault armed on one replica, and watch verdicts/breakers live,
+* ``soak`` — the seeded chaos soak against the service
+  (``repro.faults.chaos``), exiting nonzero if an invariant breaks,
 * ``watch`` — advance the watch and render the LCD.
 
 Failures exit with a *typed* code: every :class:`~repro.errors.ReproError`
@@ -31,13 +35,16 @@ from .core.power import PowerModel
 from .digital.display import DisplayMode
 from .errors import (
     CalibrationError,
+    CircuitOpenError,
     ComplianceError,
     ConfigurationError,
     DegradedOperationError,
     FaultError,
     ProtocolError,
+    QuorumError,
     ReproError,
     ResourceError,
+    ServiceError,
 )
 from .faults.campaign import DEFAULT_HEADINGS as DEFAULT_CAMPAIGN_HEADINGS
 from .soc.mcm import build_compass_mcm
@@ -56,6 +63,9 @@ EXIT_CODES = {
     ComplianceError: 4,
     ConfigurationError: 3,
     ReproError: 10,
+    CircuitOpenError: 12,
+    QuorumError: 13,
+    ServiceError: 11,
 }
 
 
@@ -228,6 +238,94 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from .faults import REGISTRY
+    from .observe import Observability
+    from .service import HeadingService, ServiceConfig
+
+    config = ServiceConfig(
+        replicas=args.replicas,
+        quorum=args.quorum,
+        seed=args.seed,
+        observe=Observability.on(tracing=False),
+    )
+    service = HeadingService(config)
+    headings = [
+        (args.heading + i * 360.0 / args.requests) % 360.0
+        for i in range(args.requests)
+    ]
+    guard = None
+    if args.fault:
+        if args.on_replica >= config.replicas:
+            print(
+                f"--on-replica {args.on_replica} out of range for "
+                f"{config.replicas} replicas",
+                file=sys.stderr,
+            )
+            return 2
+        target = service.replicas[args.on_replica].compass
+        guard = REGISTRY.inject(args.fault, target, args.severity)
+        guard.__enter__()
+        print(
+            f"armed {args.fault} (severity {args.severity}) on "
+            f"replica-{args.on_replica}"
+        )
+    try:
+        for truth in headings:
+            try:
+                r = service.measure_heading(truth, args.field * 1e-6)
+            except ServiceError as error:
+                print(
+                    f"{truth:8.2f} -> FAILED "
+                    f"({type(error).__name__}: {error})"
+                )
+                continue
+            real = sum(1 for a in r.attempts if a.outcome != "breaker-open")
+            print(
+                f"{truth:8.2f} -> {r.heading_deg:8.3f}  "
+                f"{r.verdict.value:<15} {real} attempts, "
+                f"dissent {r.vote.dissent_deg:.3f} deg"
+                + (
+                    f"  [{'; '.join(dict.fromkeys(r.flags))}]"
+                    if r.flags
+                    else ""
+                )
+            )
+    finally:
+        if guard is not None:
+            guard.__exit__(None, None, None)
+    print("breakers:", ", ".join(
+        f"{name}={state}"
+        for name, state in service.breaker_states().items()
+    ))
+    return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .faults import ChaosSoak, SoakConfig
+    from .observe import Observability
+    from .service import ServiceConfig
+
+    config = SoakConfig(
+        requests=args.requests,
+        seed=args.seed,
+        service=ServiceConfig(
+            replicas=args.replicas,
+            quorum=args.quorum,
+            observe=Observability.on(tracing=False),
+        ),
+        availability_floor=args.floor,
+    )
+    report = ChaosSoak(config).run()
+    print(report.summary())
+    if args.json:
+        report.write_json(args.json)
+        print(f"wrote {args.json}")
+    ok = report.invariants_ok(config.availability_floor, config.tolerance_deg)
+    print("RESULT:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def _cmd_datasheet(args: argparse.Namespace) -> int:
     from .core.datasheet import generate_datasheet
 
@@ -325,6 +423,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run a one-heading fault campaign for this "
                         "registered fault (repeatable)")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="drive the replicated heading service, watching verdicts",
+    )
+    p.add_argument("--requests", type=int, default=8,
+                   help="heading requests to serve (default 8)")
+    p.add_argument("--replicas", type=int, default=3)
+    p.add_argument("--quorum", type=int, default=2)
+    p.add_argument("--heading", type=float, default=0.0,
+                   help="first true heading; the rest spread over the "
+                        "circle (default 0)")
+    p.add_argument("--field", type=float, default=50.0,
+                   help="horizontal field in microtesla (default 50)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fault", default=None, metavar="NAME",
+                   help="arm this registered fault for the whole run")
+    p.add_argument("--severity", type=float, default=3.0,
+                   help="severity for --fault (default 3.0)")
+    p.add_argument("--on-replica", type=int, default=0,
+                   help="replica index the fault is armed on (default 0)")
+    p.set_defaults(func=_cmd_serve_sim)
+
+    p = sub.add_parser(
+        "soak",
+        help="seeded chaos soak against the replicated service",
+    )
+    p.add_argument("--requests", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replicas", type=int, default=3)
+    p.add_argument("--quorum", type=int, default=2)
+    p.add_argument("--floor", type=float, default=0.99,
+                   help="availability floor asserted (default 0.99)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the soak report as JSON")
+    p.set_defaults(func=_cmd_soak)
 
     p = sub.add_parser("datasheet", help="generate the measured datasheet")
     p.add_argument("--quick", action="store_true", help="smaller sweeps")

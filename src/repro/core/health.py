@@ -277,10 +277,18 @@ class HealthSupervisor:
         Only clean measurements refresh the record; the stale-serve
         counter is advanced by :meth:`stale_fallback` itself (counting
         here too would double-book every served fallback).
+
+        Any *freshly computed* measurement — fallback ``None``, even if
+        flagged — ends the stale-serve streak: the instrument is
+        measuring again, so a later fallback must not resume the old
+        count as if the recovery never happened.  Flagged readings still
+        do not become the last-known-good reference.
         """
         health = measurement.health
         if health is None or health.ok:
             self._last_good = measurement
+            self._stale_measurements = 0
+        elif health.fallback is None:
             self._stale_measurements = 0
 
     # -- watchdog --------------------------------------------------------------
@@ -514,6 +522,8 @@ class HealthSupervisor:
 
         dead = "y" if channel == "x" else "x"
         self._count_fallback(f"single-axis-{channel}")
+        self._stale_measurements += 1
+        stale = self._stale_measurements
         report = HealthReport(
             status="degraded",
             flags=(
@@ -522,8 +532,8 @@ class HealthSupervisor:
             ),
             fallback=f"single-axis-{channel}",
             quadrant_ambiguity=True,
-            stale_measurements=self._stale_measurements + 1,
-            staleness_s=(self._stale_measurements + 1)
+            stale_measurements=stale,
+            staleness_s=stale
             * compass.back_end.controller.measurement_duration(),
         )
         duty = detector.duty_cycle()

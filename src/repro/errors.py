@@ -62,3 +62,31 @@ class DegradedOperationError(FaultError):
     heading can be produced, or a health check failed before any
     last-known-good heading was recorded.
     """
+
+
+class ServiceError(ReproError):
+    """A request to the replicated :mod:`repro.service` layer failed.
+
+    The base class for request-level failures of the
+    :class:`~repro.service.HeadingService`: the service exhausted its
+    resilience budget (replicas, retries, deadline) without assembling
+    an answer it is willing to serve.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """Every replica's circuit breaker is open — the request fast-fails.
+
+    Raised before any measurement is attempted: the breaker layer has
+    ejected all replicas and none has reached its half-open probe window
+    yet, so trying would only add load to a sick fleet.
+    """
+
+
+class QuorumError(ServiceError):
+    """The service could not assemble K agreeing replicas in time.
+
+    Raised when, within the request deadline, fewer than ``quorum``
+    vote-eligible headings were collected, or the collected headings
+    disagreed so thoroughly that no K-of-N inlier set exists.
+    """

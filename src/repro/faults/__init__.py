@@ -13,7 +13,11 @@ reproduction:
   (fault × severity × heading) grids through the scalar and batch
   measurement paths and classifies every outcome as *detected*,
   *degraded*, *benign* or *silent-wrong* — the last being the metric
-  driven to zero.
+  driven to zero;
+* :mod:`repro.faults.chaos` — a seeded chaos soak that arms and disarms
+  registered faults on a minority of :class:`~repro.service.HeadingService`
+  replicas while asserting the service keeps silent-wrong at zero and
+  availability above a floor.
 
 Quickstart::
 
@@ -24,15 +28,20 @@ Quickstart::
 """
 
 from .campaign import CampaignCell, CampaignResult, FaultCampaign, Outcome
+from .chaos import ChaosSoak, SoakConfig, SoakEvent, SoakReport
 from .model import REGISTRY, FaultRegistry, FaultSpec, registered_faults
 
 __all__ = [
     "CampaignCell",
     "CampaignResult",
+    "ChaosSoak",
     "FaultCampaign",
     "FaultRegistry",
     "FaultSpec",
     "Outcome",
     "REGISTRY",
+    "SoakConfig",
+    "SoakEvent",
+    "SoakReport",
     "registered_faults",
 ]

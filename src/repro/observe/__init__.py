@@ -31,12 +31,17 @@ sink selection guide.
 """
 
 from .config import (
+    ATTEMPT_BUCKETS,
     DISABLED,
+    DISSENT_BUCKETS_DEG,
     ERROR_BUCKETS_DEG,
     FIELD_BUCKETS_UT,
     HEADING_BUCKETS,
+    LATENCY_BUCKETS_S,
     M_BATCH_CHUNKS,
     M_BATCH_ROWS,
+    M_BREAKER_STATE,
+    M_BREAKER_TRANSITIONS,
     M_CACHE_EVENTS,
     M_CAMPAIGN_CELLS,
     M_CAMPAIGN_ERROR,
@@ -46,6 +51,11 @@ from .config import (
     M_HEALTH_CHECKS,
     M_HEALTH_FALLBACKS,
     M_MEASUREMENTS,
+    M_SERVICE_ATTEMPTS,
+    M_SERVICE_ATTEMPTS_PER_REQUEST,
+    M_SERVICE_LATENCY,
+    M_SERVICE_REQUESTS,
+    M_VOTE_DISSENT,
     Observability,
     Observer,
     build_observer,
@@ -71,9 +81,11 @@ from .trace import (
 )
 
 __all__ = [
+    "ATTEMPT_BUCKETS",
     "Counter",
     "DEFAULT_BUCKETS",
     "DISABLED",
+    "DISSENT_BUCKETS_DEG",
     "ERROR_BUCKETS_DEG",
     "FIELD_BUCKETS_UT",
     "Gauge",
@@ -81,8 +93,11 @@ __all__ = [
     "Histogram",
     "HistogramState",
     "JSONLSink",
+    "LATENCY_BUCKETS_S",
     "M_BATCH_CHUNKS",
     "M_BATCH_ROWS",
+    "M_BREAKER_STATE",
+    "M_BREAKER_TRANSITIONS",
     "M_CACHE_EVENTS",
     "M_CAMPAIGN_CELLS",
     "M_CAMPAIGN_ERROR",
@@ -92,6 +107,11 @@ __all__ = [
     "M_HEALTH_CHECKS",
     "M_HEALTH_FALLBACKS",
     "M_MEASUREMENTS",
+    "M_SERVICE_ATTEMPTS",
+    "M_SERVICE_ATTEMPTS_PER_REQUEST",
+    "M_SERVICE_LATENCY",
+    "M_SERVICE_REQUESTS",
+    "M_VOTE_DISSENT",
     "MetricsRegistry",
     "NULL_SPAN",
     "Observability",

@@ -40,6 +40,13 @@ M_BATCH_CHUNKS = "batch_chunks_total"              # {channel}
 M_CACHE_EVENTS = "excitation_cache_total"          # {event: hit|miss}
 M_CAMPAIGN_CELLS = "campaign_cells_total"          # {path, outcome}
 M_CAMPAIGN_ERROR = "campaign_error_deg"            # {path} histogram
+M_SERVICE_REQUESTS = "service_requests_total"      # {verdict}
+M_SERVICE_ATTEMPTS = "service_attempts_total"      # {replica, outcome}
+M_SERVICE_ATTEMPTS_PER_REQUEST = "service_attempts_per_request"  # {} histogram
+M_SERVICE_LATENCY = "service_request_latency_s"    # {} histogram
+M_VOTE_DISSENT = "service_vote_dissent_deg"        # {} histogram
+M_BREAKER_TRANSITIONS = "breaker_transitions_total"  # {replica, to}
+M_BREAKER_STATE = "breaker_state"                  # {replica} gauge
 
 #: Heading histogram buckets: the eight compass octants.
 HEADING_BUCKETS = (45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0, 360.0)
@@ -49,6 +56,15 @@ FIELD_BUCKETS_UT = (10.0, 25.0, 35.0, 45.0, 55.0, 65.0, 97.5, 130.0)
 #: Heading-error buckets [deg] for campaign cells: inside the paper's 1°
 #: spec, near-misses, and gross failures.
 ERROR_BUCKETS_DEG = (0.25, 0.5, 1.0, 2.0, 5.0, 15.0, 45.0, 180.0)
+#: Attempt-count buckets for the per-request retry histogram: 1 attempt
+#: per replica is the clean path, Fibonacci growth covers retry storms.
+ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0)
+#: Request-latency buckets [s]: one measurement is ~2.3 ms, so the grid
+#: spans the clean three-replica request through backoff-heavy retries.
+LATENCY_BUCKETS_S = (0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+#: Vote-dissent buckets [deg]: quantisation-level disagreement between
+#: replica headings up to the outlier-rejection threshold and beyond.
+DISSENT_BUCKETS_DEG = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 15.0)
 
 
 @dataclass(frozen=True)
@@ -148,12 +164,17 @@ def build_observer(config: Observability) -> Observer:
 
 
 __all__ = [
+    "ATTEMPT_BUCKETS",
     "DISABLED",
+    "DISSENT_BUCKETS_DEG",
     "ERROR_BUCKETS_DEG",
     "FIELD_BUCKETS_UT",
     "HEADING_BUCKETS",
+    "LATENCY_BUCKETS_S",
     "M_BATCH_CHUNKS",
     "M_BATCH_ROWS",
+    "M_BREAKER_STATE",
+    "M_BREAKER_TRANSITIONS",
     "M_CACHE_EVENTS",
     "M_CAMPAIGN_CELLS",
     "M_CAMPAIGN_ERROR",
@@ -163,6 +184,11 @@ __all__ = [
     "M_HEALTH_CHECKS",
     "M_HEALTH_FALLBACKS",
     "M_MEASUREMENTS",
+    "M_SERVICE_ATTEMPTS",
+    "M_SERVICE_ATTEMPTS_PER_REQUEST",
+    "M_SERVICE_LATENCY",
+    "M_SERVICE_REQUESTS",
+    "M_VOTE_DISSENT",
     "Observability",
     "Observer",
     "build_observer",

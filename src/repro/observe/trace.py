@@ -46,6 +46,8 @@ STAGE_BACKEND = "backend"
 STAGE_COUNTER = "counter"          # counter.x / counter.y
 STAGE_CORDIC = "cordic"
 STAGE_CORDIC_ITER = "cordic.iter"  # cordic.iter.0 … cordic.iter.N-1
+STAGE_REQUEST = "service.request"  # one HeadingService request
+STAGE_ATTEMPT = "service.attempt"  # service.attempt.<replica>.<n>
 
 AttributeValue = Union[str, int, float, bool, None]
 

@@ -1,0 +1,71 @@
+"""Retry backoff: exponential growth with decorrelated jitter.
+
+Retrying a sick replica immediately is how a transient fault becomes a
+retry storm; retrying on a fixed exponential schedule synchronises every
+client into thundering herds.  The service therefore uses *decorrelated
+jitter*: each delay is drawn uniformly from ``[base, previous × mult]``
+and capped, which empirically spreads contending retries at least as
+well as full jitter while still growing exponentially on persistent
+failure.
+
+Determinism: the draw comes from an injected :class:`numpy.random.
+Generator`, seeded by the service's root seed — a retry schedule is a
+pure function of (seed, failure history), so chaos-soak runs reproduce
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Shape of the retry-delay distribution.
+
+    Attributes
+    ----------
+    base_s:
+        First delay and the lower bound of every draw [s].
+    cap_s:
+        Upper bound on any single delay [s].
+    multiplier:
+        Growth factor of the decorrelated-jitter window.
+    """
+
+    base_s: float = 0.002
+    cap_s: float = 0.05
+    multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0.0:
+            raise ConfigurationError("backoff base must be positive")
+        if self.cap_s < self.base_s:
+            raise ConfigurationError("backoff cap must be >= base")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+
+
+class BackoffSchedule:
+    """The stateful per-request delay sequence for one retry loop."""
+
+    def __init__(self, policy: BackoffPolicy, rng: np.random.Generator):
+        self.policy = policy
+        self._rng = rng
+        self._previous = policy.base_s
+
+    def next_delay(self) -> float:
+        """Draw the next retry delay [s] (decorrelated jitter)."""
+        policy = self.policy
+        high = max(policy.base_s, self._previous * policy.multiplier)
+        delay = float(self._rng.uniform(policy.base_s, high))
+        delay = min(policy.cap_s, delay)
+        self._previous = delay
+        return delay
+
+
+__all__ = ["BackoffPolicy", "BackoffSchedule"]

@@ -1,0 +1,152 @@
+"""Per-replica circuit breaker: closed → open → half-open → closed.
+
+A replica that keeps failing health checks should stop being asked —
+every doomed attempt burns deadline budget the request could spend on a
+healthy replica.  The breaker tracks consecutive failures per replica
+and runs the classic three-state machine:
+
+* **closed** — requests flow; ``failure_threshold`` consecutive
+  failures trip it open.
+* **open** — requests are refused outright for ``open_duration_s``
+  (measured on the injected :class:`~repro.service.clock.Clock`).
+* **half-open** — after the cool-down one probe request is let through;
+  ``half_open_successes`` consecutive probe successes re-close the
+  breaker, any probe failure re-opens it with a fresh cool-down.
+
+Transitions are reported through an optional callback so the service can
+turn them into :mod:`repro.observe` metrics without the breaker knowing
+about metrics at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+from .clock import Clock
+
+
+class BreakerState(enum.Enum):
+    """The three breaker states, valued for the state gauge metric."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    @property
+    def gauge_value(self) -> int:
+        return {"closed": 0, "open": 1, "half-open": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery thresholds of one circuit breaker.
+
+    Attributes
+    ----------
+    failure_threshold:
+        Consecutive failures that trip a closed breaker open.
+    open_duration_s:
+        Cool-down before an open breaker admits a half-open probe [s].
+    half_open_successes:
+        Consecutive probe successes required to re-close.
+    """
+
+    failure_threshold: int = 3
+    open_duration_s: float = 0.05
+    half_open_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError("failure threshold must be >= 1")
+        if self.open_duration_s < 0.0:
+            raise ConfigurationError("open duration must be >= 0")
+        if self.half_open_successes < 1:
+            raise ConfigurationError("half-open successes must be >= 1")
+
+
+#: Transition callback: (from_state, to_state).
+TransitionHook = Callable[[BreakerState, BreakerState], None]
+
+
+class CircuitBreaker:
+    """One replica's admission gate, driven by attempt outcomes."""
+
+    def __init__(
+        self,
+        config: BreakerConfig,
+        clock: Clock,
+        on_transition: Optional[TransitionHook] = None,
+    ):
+        self.config = config
+        self._clock = clock
+        self._on_transition = on_transition
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._open_until = 0.0
+        self.transitions = 0
+
+    @property
+    def open_until(self) -> float:
+        """Clock time at which an open breaker admits its next probe."""
+        return self._open_until
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, resolving an expired open cool-down lazily."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock.now() >= self._open_until
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+        return self._state
+
+    def _transition(self, to: BreakerState) -> None:
+        if to is self._state:
+            return
+        from_state = self._state
+        self._state = to
+        self.transitions += 1
+        if to is BreakerState.OPEN:
+            self._open_until = (
+                self._clock.now() + self.config.open_duration_s
+            )
+        if to is not BreakerState.OPEN:
+            self._probe_successes = 0
+        if to is BreakerState.CLOSED:
+            self._consecutive_failures = 0
+        if self._on_transition is not None:
+            self._on_transition(from_state, to)
+
+    def allow(self) -> bool:
+        """May the service send this replica a request right now?"""
+        return self.state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        """Account a successful attempt (closes a probing breaker)."""
+        state = self.state
+        self._consecutive_failures = 0
+        if state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.half_open_successes:
+                self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """Account a failed attempt (may trip or re-open the breaker)."""
+        state = self.state
+        if state is BreakerState.HALF_OPEN:
+            # A failed probe: straight back to open with a fresh cool-down.
+            self._transition(BreakerState.OPEN)
+            return
+        self._consecutive_failures += 1
+        if (
+            state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.config.failure_threshold
+        ):
+            self._transition(BreakerState.OPEN)
+
+
+__all__ = ["BreakerConfig", "BreakerState", "CircuitBreaker"]

@@ -6,12 +6,15 @@ import pytest
 
 from repro.cli import EXIT_CODES, build_parser, exit_code_for, main
 from repro.errors import (
+    CircuitOpenError,
     ComplianceError,
     ConfigurationError,
     DegradedOperationError,
     FaultError,
     ProtocolError,
+    QuorumError,
     ReproError,
+    ServiceError,
 )
 
 
@@ -24,7 +27,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "measure", "sweep", "power", "area", "scan", "watch", "faults",
-            "trace", "metrics",
+            "trace", "metrics", "serve-sim", "soak",
         ):
             args = parser.parse_args([command])
             assert args.command == command
@@ -163,6 +166,11 @@ class TestTypedExitCodes:
         assert exit_code_for(ConfigurationError("x")) == 3
         assert exit_code_for(ReproError("x")) == 10
 
+    def test_service_error_codes(self):
+        assert exit_code_for(ServiceError("x")) == 11
+        assert exit_code_for(CircuitOpenError("x")) == 12
+        assert exit_code_for(QuorumError("x")) == 13
+
     def test_weak_field_exits_with_protocol_code(self, capsys):
         # 0.001 µT is below the counter trust threshold → ProtocolError.
         assert main(["measure", "--field", "0.001"]) == 5
@@ -201,3 +209,59 @@ class TestFaultsCommand:
     def test_unknown_fault_exits_with_configuration_code(self, capsys):
         assert main(["faults", "--fault", "bogus.fault"]) == 3
         assert "ConfigurationError" in capsys.readouterr().err
+
+
+class TestServeSimCommand:
+    def test_clean_pool_serves_authoritative(self, capsys):
+        assert main(["serve-sim", "--requests", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("authoritative") == 3
+        assert "replica-0=closed" in out
+
+    def test_armed_fault_degrades_and_opens_the_breaker(self, capsys):
+        code = main([
+            "serve-sim", "--requests", "4",
+            "--fault", "digital.cordic_rom_bitflip",
+            "--on-replica", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "armed digital.cordic_rom_bitflip" in out
+        assert "quorum-degraded" in out
+        assert "replica-1=open" in out
+
+    def test_replica_index_validated(self, capsys):
+        assert main([
+            "serve-sim", "--fault", "digital.cordic_rom_bitflip",
+            "--on-replica", "7",
+        ]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_unknown_fault_exits_with_configuration_code(self, capsys):
+        assert main(["serve-sim", "--fault", "bogus.fault"]) == 3
+        assert "ConfigurationError" in capsys.readouterr().err
+
+
+class TestSoakCommand:
+    def test_short_soak_passes_and_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "soak.json"
+        code = main([
+            "soak", "--requests", "20", "--seed", "0", "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RESULT: PASS" in out
+        record = json.loads(path.read_text())
+        assert record["silent_wrong"] == 0
+        assert record["requests"] == 20
+
+    def test_broken_invariant_fails_loudly(self, capsys):
+        # quorum == N leaves no redundancy margin: any hard fault drops
+        # the request, availability misses the floor, and the soak must
+        # exit nonzero — it is a gate, not a report.
+        code = main([
+            "soak", "--requests", "20", "--seed", "0",
+            "--replicas", "3", "--quorum", "3",
+        ])
+        assert code == 1
+        assert "RESULT: FAIL" in capsys.readouterr().out

@@ -124,6 +124,52 @@ class TestStaleFallback:
         assert recovered.health.ok
         assert recovered.health.stale_measurements == 0
 
+    def test_flagged_recovery_also_clears_staleness(self):
+        # Regression: a replica recovering *into* a soft-degraded state
+        # (fresh measurement, field merely out of band) used to keep its
+        # old stale-serve streak, so the next hard fault resumed the
+        # count as if the recovery never happened.
+        compass = _compass(degrade=True)
+        compass.measure_heading(45.0)
+        with REGISTRY.inject("digital.cordic_rom_bitflip", compass, 3.0):
+            assert compass.measure_heading(123.0).health.stale_measurements == 1
+        # Recovery, but into the out-of-band regime: freshly computed,
+        # flagged, no fallback — this must end the streak.
+        with REGISTRY.inject("sensor.common_gain_drift", compass, 4.0):
+            flagged = compass.measure_heading(123.0)
+        assert flagged.degraded
+        assert flagged.health.fallback is None
+        # A new hard fault starts a *new* streak at 1, not at 2.
+        with REGISTRY.inject("digital.cordic_rom_bitflip", compass, 3.0):
+            assert compass.measure_heading(123.0).health.stale_measurements == 1
+
+    def test_flagged_recovery_does_not_become_reference(self):
+        # The flagged reading ends the streak but must NOT update the
+        # last-known-good record the stale fallback serves from.
+        compass = _compass(degrade=True)
+        good = compass.measure_heading(45.0)
+        with REGISTRY.inject("sensor.common_gain_drift", compass, 4.0):
+            compass.measure_heading(123.0)
+        with REGISTRY.inject("digital.cordic_rom_bitflip", compass, 3.0):
+            stale = compass.measure_heading(123.0)
+        assert stale.heading_deg == good.heading_deg
+        assert stale.field_estimate_a_per_m == good.field_estimate_a_per_m
+
+    def test_single_axis_staleness_accumulates(self):
+        # Regression: single_axis_fallback reported `stale + 1` without
+        # storing it, so back-to-back one-axis headings all claimed the
+        # same staleness instead of an increasing one.
+        compass = _compass(degrade=True)
+        compass.measure_heading(45.0)
+        with REGISTRY.inject("sensor.axis_gain_mismatch", compass, 0.9):
+            first = compass.measure_heading(50.0)
+            second = compass.measure_heading(50.0)
+        assert first.health.fallback == "single-axis-y"
+        assert second.health.stale_measurements == (
+            first.health.stale_measurements + 1
+        )
+        assert second.health.staleness_s > first.health.staleness_s
+
 
 class TestSingleAxisFallback:
     def test_dead_x_channel_degrades_with_quadrant_flag(self):

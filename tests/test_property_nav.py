@@ -1,0 +1,124 @@
+"""Property tests for the navigation layer (``repro.nav``).
+
+Two algebraic contracts the examples in ``test_declination.py`` and
+``test_dead_reckoning.py`` only spot-check:
+
+* declination correction is a bijection on the circle — magnetic →
+  geographic → magnetic is the identity for *any* heading and *any*
+  declination, and the corrected heading is always normalised;
+* dead reckoning is a group action on the tangent plane — a zero-length
+  displacement is the identity (position *and* accumulated track
+  unchanged), and walking a leg then walking it backwards returns home.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nav.dead_reckoning import DeadReckoner, Position
+from repro.nav.declination import (
+    geographic_to_magnetic,
+    magnetic_to_geographic,
+)
+
+headings = st.floats(
+    min_value=-720.0, max_value=720.0, allow_nan=False, allow_infinity=False
+)
+declinations = st.floats(
+    min_value=-180.0, max_value=180.0, allow_nan=False, allow_infinity=False
+)
+coordinates = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+distances = st.floats(
+    min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+def _circular_close(a_deg: float, b_deg: float, tol: float = 1e-6) -> bool:
+    delta = (a_deg - b_deg + 180.0) % 360.0 - 180.0
+    return abs(delta) <= tol
+
+
+class TestDeclinationRoundTrip:
+    @settings(deadline=None)
+    @given(heading=headings, declination=declinations)
+    def test_magnetic_geographic_round_trip(self, heading, declination):
+        geographic = magnetic_to_geographic(heading, declination)
+        back = geographic_to_magnetic(geographic, declination)
+        assert _circular_close(back, heading)
+
+    @settings(deadline=None)
+    @given(heading=headings, declination=declinations)
+    def test_geographic_magnetic_round_trip(self, heading, declination):
+        magnetic = geographic_to_magnetic(heading, declination)
+        back = magnetic_to_geographic(magnetic, declination)
+        assert _circular_close(back, heading)
+
+    @settings(deadline=None)
+    @given(heading=headings, declination=declinations)
+    def test_corrected_heading_is_normalised(self, heading, declination):
+        assert 0.0 <= magnetic_to_geographic(heading, declination) < 360.0
+        assert 0.0 <= geographic_to_magnetic(heading, declination) < 360.0
+
+    @settings(deadline=None)
+    @given(heading=headings)
+    def test_zero_declination_is_identity(self, heading):
+        assert _circular_close(
+            magnetic_to_geographic(heading, 0.0), heading % 360.0
+        )
+
+
+class TestDeadReckoningIdentities:
+    @settings(deadline=None)
+    @given(
+        north=coordinates,
+        east=coordinates,
+        heading=headings,
+        declination=declinations,
+    )
+    def test_zero_displacement_preserves_position(
+        self, north, east, heading, declination
+    ):
+        start = Position(north, east)
+        reckoner = DeadReckoner(declination_deg=declination, start=start)
+        after = reckoner.advance(heading, 0.0)
+        assert after.distance_to(start) == 0.0
+        assert reckoner.position == start
+        assert reckoner.total_distance() == 0.0
+
+    @settings(deadline=None)
+    @given(
+        north=coordinates,
+        east=coordinates,
+        heading=headings,
+        distance=distances,
+    )
+    def test_out_and_back_returns_home(self, north, east, heading, distance):
+        start = Position(north, east)
+        reckoner = DeadReckoner(start=start)
+        reckoner.advance(heading, distance)
+        reckoner.advance(heading + 180.0, distance)
+        # Two legs of trig each lose at most a few ulps per metre.
+        assert reckoner.closure_error(start) <= 1e-9 * max(
+            1.0, distance, abs(north), abs(east)
+        )
+
+    @settings(deadline=None)
+    @given(
+        north=coordinates,
+        east=coordinates,
+        heading=headings,
+        distance=distances,
+    )
+    def test_moved_distance_and_bearing_round_trip(
+        self, north, east, heading, distance
+    ):
+        start = Position(north, east)
+        end = start.moved(heading, distance)
+        assert math.isclose(
+            start.distance_to(end), distance, rel_tol=1e-9, abs_tol=1e-9
+        )
+        assert _circular_close(
+            start.bearing_to(end), heading % 360.0, tol=1e-6
+        )

@@ -1,0 +1,435 @@
+"""The resilient heading service: breakers, backoff, voting, verdicts.
+
+Unit tests for each resilience primitive (clock, backoff schedule,
+circuit breaker, circular voting) plus end-to-end service behaviour:
+the clean path stays bit-identical to the golden vectors, any single
+fault on a minority of replicas degrades the verdict without bending
+the heading, and exhausted pools fail loudly with typed errors.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.health import HealthConfig
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    QuorumError,
+    ServiceError,
+)
+from repro.faults import REGISTRY
+from repro.observe import (
+    M_BREAKER_TRANSITIONS,
+    M_SERVICE_REQUESTS,
+    Observability,
+)
+from repro.service import (
+    BackoffPolicy,
+    BackoffSchedule,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    HeadingService,
+    ServiceConfig,
+    ServiceVerdict,
+    SimulatedClock,
+    circular_mad_deg,
+    circular_mean_deg,
+    circular_median_deg,
+    vote_headings,
+)
+
+# The golden scalar measurement at the design point (see test_health).
+GOLDEN_HEADING = (123.0, 123.40234375)
+
+
+def _service(**overrides) -> HeadingService:
+    return HeadingService(ServiceConfig(**overrides))
+
+
+class TestSimulatedClock:
+    def test_sleep_advances(self):
+        clock = SimulatedClock()
+        t0 = clock.now()
+        clock.sleep(0.25)
+        assert clock.now() == t0 + 0.25
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedClock().advance(-1.0)
+
+
+class TestBackoff:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base_s=0.0)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base_s=0.1, cap_s=0.05)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(multiplier=0.5)
+
+    def test_delays_stay_within_bounds(self):
+        policy = BackoffPolicy(base_s=0.002, cap_s=0.05, multiplier=3.0)
+        schedule = BackoffSchedule(policy, np.random.default_rng(0))
+        delays = [schedule.next_delay() for _ in range(200)]
+        assert all(policy.base_s <= d <= policy.cap_s for d in delays)
+
+    def test_deterministic_for_a_seed(self):
+        policy = BackoffPolicy()
+        a = BackoffSchedule(policy, np.random.default_rng(7))
+        b = BackoffSchedule(policy, np.random.default_rng(7))
+        assert [a.next_delay() for _ in range(20)] == [
+            b.next_delay() for _ in range(20)
+        ]
+
+    def test_decorrelated_growth_is_capped(self):
+        policy = BackoffPolicy(base_s=0.01, cap_s=0.02, multiplier=10.0)
+        schedule = BackoffSchedule(policy, np.random.default_rng(1))
+        for _ in range(50):
+            assert schedule.next_delay() <= policy.cap_s
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, **overrides):
+        return CircuitBreaker(BreakerConfig(**overrides), clock)
+
+    def test_trips_after_threshold(self):
+        clock = SimulatedClock()
+        breaker = self._breaker(clock, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        clock = SimulatedClock()
+        breaker = self._breaker(clock, failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_after_cool_down(self):
+        clock = SimulatedClock()
+        breaker = self._breaker(
+            clock, failure_threshold=1, open_duration_s=0.1
+        )
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.099)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.001)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+
+    def test_probe_success_closes(self):
+        clock = SimulatedClock()
+        breaker = self._breaker(
+            clock, failure_threshold=1, open_duration_s=0.1,
+            half_open_successes=2,
+        )
+        breaker.record_failure()
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens_with_fresh_cool_down(self):
+        clock = SimulatedClock()
+        breaker = self._breaker(
+            clock, failure_threshold=1, open_duration_s=0.1
+        )
+        breaker.record_failure()
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.open_until == pytest.approx(clock.now() + 0.1)
+
+    def test_transition_hook_sees_every_edge(self):
+        clock = SimulatedClock()
+        seen = []
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, open_duration_s=0.1),
+            clock,
+            on_transition=lambda a, b: seen.append((a.value, b.value)),
+        )
+        breaker.record_failure()
+        clock.advance(0.2)
+        breaker.state  # resolve the cool-down
+        breaker.record_success()
+        assert seen == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        assert breaker.transitions == 3
+
+
+class TestCircularVoting:
+    def test_mean_handles_the_wrap(self):
+        assert circular_mean_deg([359.0, 1.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_median_is_a_sample_point(self):
+        headings = [10.0, 12.0, 300.0]
+        assert circular_median_deg(headings) in headings
+
+    def test_median_across_the_wrap(self):
+        assert circular_median_deg([358.0, 0.0, 2.0]) == pytest.approx(0.0)
+
+    def test_mad_zero_for_identical_headings(self):
+        assert circular_mad_deg([45.0, 45.0, 45.0], 45.0) == 0.0
+
+    def test_unanimous_vote(self):
+        vote = vote_headings([100.0, 100.1, 99.9])
+        assert vote.unanimous
+        assert vote.outliers == ()
+        assert vote.heading_deg == pytest.approx(100.0, abs=0.01)
+
+    def test_outlier_rejected_across_wrap(self):
+        vote = vote_headings([359.5, 0.5, 180.0])
+        assert len(vote.inliers) == 2
+        assert len(vote.outliers) == 1
+        assert vote.heading_deg == pytest.approx(0.0, abs=0.01)
+
+    def test_breakdown_point_minority_cannot_steal_the_vote(self):
+        # 2 liars against 3 honest replicas: the vote must stay honest.
+        vote = vote_headings([90.0, 90.2, 89.8, 270.0, 271.0])
+        assert vote.heading_deg == pytest.approx(90.0, abs=0.2)
+        assert len(vote.outliers) == 2
+
+    def test_empty_vote_rejected(self):
+        with pytest.raises(ConfigurationError):
+            vote_headings([])
+
+
+class TestServiceConfig:
+    def test_quorum_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(replicas=3, quorum=4)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(replicas=3, quorum=0)
+
+    def test_positive_budgets(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_attempts_per_replica=0)
+
+
+class TestCleanPath:
+    def test_authoritative_and_bit_identical_to_golden(self):
+        truth, golden = GOLDEN_HEADING
+        response = _service().measure_heading(truth)
+        assert response.verdict is ServiceVerdict.AUTHORITATIVE
+        assert response.authoritative
+        assert response.heading_deg == golden
+        assert response.votes == (golden,) * 3
+        assert response.vote.unanimous
+        assert [a.outcome for a in response.attempts] == ["ok"] * 3
+        assert response.flags == ()
+
+    def test_elapsed_accounts_replica_latency(self):
+        response = _service().measure_heading(45.0)
+        assert response.elapsed_s > 0.0
+        assert response.elapsed_s == pytest.approx(
+            sum(a.latency_s for a in response.attempts)
+        )
+
+    def test_all_breakers_stay_closed(self):
+        service = _service()
+        service.measure_heading(45.0)
+        assert set(service.breaker_states().values()) == {"closed"}
+
+
+class TestMinorityFault:
+    def test_single_fault_degrades_but_stays_within_spec(self):
+        service = _service()
+        truth = 222.25
+        with REGISTRY.inject(
+            "digital.cordic_rom_bitflip", service.replicas[0].compass, 3.0
+        ):
+            response = service.measure_heading(truth)
+        assert response.verdict is ServiceVerdict.QUORUM_DEGRADED
+        error = abs((response.heading_deg - truth + 180.0) % 360.0 - 180.0)
+        assert error <= 1.0
+        assert len(response.votes) == 2
+        assert any(a.outcome == "fault" for a in response.attempts)
+
+    def test_faulted_replica_exhausts_its_attempt_budget(self):
+        service = _service()
+        with REGISTRY.inject(
+            "digital.cordic_rom_bitflip", service.replicas[1].compass, 3.0
+        ):
+            response = service.measure_heading(45.0)
+        faulted = [
+            a for a in response.attempts if a.replica == "replica-1"
+        ]
+        assert [a.outcome for a in faulted] == ["fault"] * 3
+
+    def test_breaker_opens_and_ejects_the_replica(self):
+        service = _service()
+        with REGISTRY.inject(
+            "digital.cordic_rom_bitflip", service.replicas[0].compass, 3.0
+        ):
+            service.measure_heading(45.0)
+            assert service.breaker_states()["replica-0"] == "open"
+            response = service.measure_heading(46.0)
+        # The ejected replica is refused without burning attempts.
+        refused = [
+            a
+            for a in response.attempts
+            if a.replica == "replica-0"
+        ]
+        assert [a.outcome for a in refused] == ["breaker-open"]
+        assert response.verdict is ServiceVerdict.QUORUM_DEGRADED
+
+    def test_recovery_closes_the_breaker_and_restores_authority(self):
+        service = _service()
+        with REGISTRY.inject(
+            "digital.cordic_rom_bitflip", service.replicas[0].compass, 3.0
+        ):
+            service.measure_heading(45.0)
+        # Fault gone: drive requests until the cool-down expires and the
+        # half-open probe re-closes the breaker.
+        for _ in range(30):
+            response = service.measure_heading(123.0)
+            if response.verdict is ServiceVerdict.AUTHORITATIVE:
+                break
+        assert response.verdict is ServiceVerdict.AUTHORITATIVE
+        assert service.breaker_states()["replica-0"] == "closed"
+        assert response.heading_deg == GOLDEN_HEADING[1]
+
+
+class TestDegradedVotes:
+    def test_second_class_votes_fill_a_short_pool(self):
+        # Soft-degrade two replicas (field out of band, heading intact):
+        # healthy alone misses quorum, degraded votes top it up, and the
+        # verdict says so.
+        service = _service()
+        with REGISTRY.inject(
+            "sensor.common_gain_drift", service.replicas[0].compass, 4.0
+        ), REGISTRY.inject(
+            "sensor.common_gain_drift", service.replicas[1].compass, 4.0
+        ):
+            response = service.measure_heading(45.0)
+        assert response.verdict is ServiceVerdict.QUORUM_DEGRADED
+        assert len(response.votes) >= 2
+        error = abs((response.heading_deg - 45.0 + 180.0) % 360.0 - 180.0)
+        assert error <= 1.0
+        assert any("degraded" in flag for flag in response.flags)
+
+
+class TestLoudFailures:
+    def test_majority_hard_fault_raises_quorum_error(self):
+        service = _service()
+        with REGISTRY.inject(
+            "digital.cordic_rom_bitflip", service.replicas[0].compass, 3.0
+        ), REGISTRY.inject(
+            "digital.cordic_rom_bitflip", service.replicas[1].compass, 3.0
+        ):
+            with pytest.raises(QuorumError, match="quorum"):
+                service.measure_heading(45.0)
+
+    def test_quorum_error_is_a_service_error(self):
+        assert issubclass(QuorumError, ServiceError)
+        assert issubclass(CircuitOpenError, ServiceError)
+
+    def test_all_breakers_open_fast_fails_with_circuit_open(self):
+        # Deadline shorter than the breaker cool-down: once every
+        # breaker is open a request cannot even probe, so it must
+        # fast-fail with the dedicated error.
+        service = _service(
+            deadline_s=0.01,
+            breaker=BreakerConfig(failure_threshold=1, open_duration_s=1.0),
+        )
+        for replica in service.replicas:
+            replica.breaker.record_failure()
+        assert set(service.breaker_states().values()) == {"open"}
+        with pytest.raises(CircuitOpenError):
+            service.measure_heading(45.0)
+
+    def test_impossible_deadline_times_every_reply_out(self):
+        # A deadline below one reply latency: every attempt is charged
+        # and discarded, leaving no votes at all.
+        service = _service(deadline_s=0.001)
+        with pytest.raises(QuorumError):
+            service.measure_heading(45.0)
+
+    def test_slow_replicas_time_out_per_attempt(self):
+        service = _service()
+        service.replicas[2].latency_scale = 50.0
+        response = service.measure_heading(45.0)
+        slow = [a for a in response.attempts if a.replica == "replica-2"]
+        assert slow and all(a.outcome == "timeout" for a in slow)
+        assert response.verdict is ServiceVerdict.QUORUM_DEGRADED
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_responses(self):
+        def run():
+            service = _service(seed=42)
+            with REGISTRY.inject(
+                "digital.cordic_rom_bitflip", service.replicas[0].compass, 3.0
+            ):
+                r = service.measure_heading(200.0)
+            return (
+                r.heading_deg,
+                r.verdict,
+                tuple((a.replica, a.outcome, a.latency_s) for a in r.attempts),
+                r.elapsed_s,
+            )
+
+        assert run() == run()
+
+    def test_different_seeds_change_the_latency_schedule(self):
+        a = _service(seed=0).measure_heading(45.0)
+        b = _service(seed=1).measure_heading(45.0)
+        assert [x.latency_s for x in a.attempts] != [
+            x.latency_s for x in b.attempts
+        ]
+
+
+class TestServiceObservability:
+    def test_verdict_and_breaker_metrics_flow(self):
+        service = _service(observe=Observability.on(tracing=False))
+        service.measure_heading(45.0)
+        with REGISTRY.inject(
+            "digital.cordic_rom_bitflip", service.replicas[0].compass, 3.0
+        ):
+            service.measure_heading(45.0)
+        metrics = service.observer.metrics
+        requests = metrics.get(M_SERVICE_REQUESTS)
+        assert requests.value(verdict="authoritative") == 1
+        assert requests.value(verdict="quorum-degraded") == 1
+        transitions = metrics.get(M_BREAKER_TRANSITIONS)
+        assert transitions.value(replica="replica-0", to="open") == 1
+
+    def test_strict_replicas_under_the_service(self):
+        # The service's default compass config keeps health supervision
+        # strict: resilience lives in the pool, not inside the replica.
+        config = ServiceConfig()
+        assert config.compass.health.enabled
+        assert not config.compass.health.degrade
+
+    def test_degrade_mode_replicas_also_compose(self):
+        # A degrade-mode pool still works; stale fallbacks come back as
+        # health-degraded measurements and demote the verdict instead of
+        # raising.
+        compass = dataclasses.replace(
+            ServiceConfig().compass,
+            health=HealthConfig(enabled=True, degrade=True),
+        )
+        service = _service(compass=compass)
+        service.measure_heading(45.0)
+        with REGISTRY.inject(
+            "digital.cordic_rom_bitflip", service.replicas[0].compass, 3.0
+        ):
+            response = service.measure_heading(46.0)
+        assert response.verdict is ServiceVerdict.QUORUM_DEGRADED
