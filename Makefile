@@ -1,6 +1,6 @@
 # Convenience targets for the compass reproduction.
 
-.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak all
+.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak replay all
 
 install:
 	pip install -e . || python setup.py develop
@@ -56,6 +56,15 @@ serve-sim:
 # rises above zero or availability misses the floor.
 soak:
 	PYTHONPATH=src python -m repro soak --requests 100 --json BENCH_service.json
+
+# Record a seeded sweep, replay it bit-exactly, then diff it through
+# the scalar, batch and instrumented paths; exit 15 on silent-wrong.
+replay:
+	PYTHONPATH=src python -m repro record --out replay-sweep.rplog --points 24
+	PYTHONPATH=src python -m repro replay replay-sweep.rplog
+	PYTHONPATH=src python -m repro diff replay-sweep.rplog \
+		--paths recorded scalar batch instrumented \
+		--json replay-divergence.json
 
 datasheet:
 	python -m repro datasheet

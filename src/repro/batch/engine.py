@@ -237,7 +237,10 @@ class BatchCompass:
                 front_end.disable()
 
             measurements = []
+            recorder = observer.recorder
             for row, (out_x, out_y) in enumerate(zip(detected_x, detected_y)):
+                if recorder is not None:
+                    recorder.on_inputs(float(h_x[row]), float(h_y[row]))
                 with observer.span(
                     STAGE_MEASURE, path="batch", row=row
                 ) as span:

@@ -14,6 +14,13 @@ Gives the library a bench-top feel without writing code:
   a fault armed on one replica, and watch verdicts/breakers live,
 * ``soak`` — the seeded chaos soak against the service
   (``repro.faults.chaos``), exiting nonzero if an invariant breaks,
+* ``record`` — run a seeded heading sweep with the replay recorder armed
+  and write a self-checking ``.rplog`` capture (``repro.replay``),
+* ``replay`` — re-execute a recorded log bit-exactly (digital back-end
+  or full chain), failing loudly on any divergence,
+* ``diff`` — replay one log through several execution paths (scalar,
+  batch, service replica, instrumented…) and report the first divergent
+  stage of every mismatching record,
 * ``watch`` — advance the watch and render the LCD.
 
 Failures exit with a *typed* code: every :class:`~repro.errors.ReproError`
@@ -39,9 +46,11 @@ from .errors import (
     ComplianceError,
     ConfigurationError,
     DegradedOperationError,
+    DivergenceError,
     FaultError,
     ProtocolError,
     QuorumError,
+    ReplayError,
     ReproError,
     ResourceError,
     ServiceError,
@@ -66,6 +75,8 @@ EXIT_CODES = {
     CircuitOpenError: 12,
     QuorumError: 13,
     ServiceError: 11,
+    DivergenceError: 15,
+    ReplayError: 14,
 }
 
 
@@ -326,6 +337,101 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    from .core.compass import CompassConfig
+    from .core.heading import headings_evenly_spaced
+    from .observe import Observability
+    from .replay import read_log
+
+    config = CompassConfig(
+        observe=Observability.on(
+            tracing=False, metrics=False, replay_path=args.out
+        )
+    )
+    compass = IntegratedCompass(config)
+    headings = headings_evenly_spaced(args.points, args.start)
+    if args.batch:
+        from .batch import BatchCompass
+
+        BatchCompass(compass).sweep_headings(headings, args.field * 1e-6)
+    else:
+        for truth in headings:
+            compass.measure_heading(truth, args.field * 1e-6)
+    compass.observer.close()
+    reader = read_log(args.out)  # round-trip sanity: reject what we wrote
+    print(
+        f"recorded {len(reader)} measurements "
+        f"({'batch' if args.batch else 'scalar'} path, "
+        f"{args.field:.1f} uT) -> {args.out}"
+    )
+    print(f"fingerprint {reader.header.fingerprint}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .replay import ReplayPlayer, read_log, verify_full
+
+    reader = read_log(args.log)
+    print(
+        f"{args.log}: {len(reader)} records, "
+        f"fingerprint {reader.header.fingerprint}"
+    )
+    if args.full:
+        verified = verify_full(reader, tolerance_deg=args.tolerance)
+        print(f"full-chain replay: {verified} records bit-exact")
+    else:
+        verified = ReplayPlayer(reader.header).verify(
+            reader, tolerance_deg=args.tolerance
+        )
+        print(f"back-end replay: {verified} records bit-exact")
+    print("RESULT: PASS")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .replay import read_log, require_conformance, run_conformance
+
+    reader = read_log(args.log)
+    results = run_conformance(
+        reader, paths=args.paths, tolerance_deg=args.tolerance
+    )
+    for result in results:
+        verdict = "clean" if result.clean else (
+            f"{len(result.divergences)} divergences "
+            f"({len(result.silent_wrong)} silent-wrong)"
+        )
+        print(
+            f"  {result.path_a:<12} vs {result.path_b:<12} "
+            f"{result.n_records:4d} records  {verdict}"
+        )
+        for divergence in result.divergences:
+            print(f"    {divergence.describe()}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(
+                {
+                    "log": args.log,
+                    "n_records": len(reader),
+                    "paths": list(args.paths),
+                    "tolerance_deg": args.tolerance,
+                    "results": [result.to_dict() for result in results],
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.strict and any(not result.clean for result in results):
+        raise DivergenceError(
+            "strict conformance: divergences found (see report above)"
+        )
+    compared = require_conformance(results)  # raises on silent-wrong (exit 15)
+    print(f"RESULT: PASS ({compared} record comparisons)")
+    return 0
+
+
 def _cmd_datasheet(args: argparse.Namespace) -> int:
     from .core.datasheet import generate_datasheet
 
@@ -459,6 +565,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the soak report as JSON")
     p.set_defaults(func=_cmd_soak)
+
+    p = sub.add_parser(
+        "record",
+        help="record a heading sweep into a self-checking replay log",
+    )
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="output .rplog path")
+    p.add_argument("--points", type=int, default=8,
+                   help="evenly spaced headings to record (default 8)")
+    p.add_argument("--start", type=float, default=0.5,
+                   help="first heading in degrees (default 0.5)")
+    p.add_argument("--field", type=float, default=50.0,
+                   help="horizontal field in microtesla (default 50)")
+    p.add_argument("--batch", action="store_true",
+                   help="record through the vectorized batch path")
+    p.set_defaults(func=_cmd_record)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-execute a recorded log bit-exactly",
+    )
+    p.add_argument("log", metavar="LOG", help="the .rplog to replay")
+    p.add_argument("--full", action="store_true",
+                   help="replay the full chain from recorded inputs "
+                        "(default: digital back-end from recorded pulses)")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="heading tolerance in degrees (default 0: bit-exact)")
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "diff",
+        help="replay one log through several paths and diff every stage",
+    )
+    p.add_argument("log", metavar="LOG", help="the .rplog to diff")
+    p.add_argument("--paths", nargs="+", default=["recorded", "scalar"],
+                   choices=["recorded", "backend", "scalar", "batch",
+                            "instrumented", "service"],
+                   help="execution paths to diff pairwise "
+                        "(default: recorded scalar)")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="heading tolerance in degrees (default 0: bit-exact)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the divergence report as JSON")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on any divergence, not just silent-wrong")
+    p.set_defaults(func=_cmd_diff)
 
     p = sub.add_parser("datasheet", help="generate the measured datasheet")
     p.add_argument("--quick", action="store_true", help="smaller sweeps")

@@ -124,6 +124,8 @@ class IntegratedCompass:
         self.observer = build_observer(config.observe)
         self.front_end.observer = self.observer
         self.back_end.observer = self.observer
+        if self.observer.recorder is not None:
+            self.observer.recorder.bind(config)
         # The supervisor snapshots its golden references (CORDIC ROM) at
         # build time, so it must be created after the back-end and before
         # any fault can be injected.
@@ -175,6 +177,9 @@ class IntegratedCompass:
         degrade = self.config.health.enabled and self.config.health.degrade
         failures = {}
         outputs = {}
+        recorder = self.observer.recorder
+        if recorder is not None:
+            recorder.on_inputs(h_x, h_y)
         with self.observer.span(STAGE_MEASURE, path="scalar") as root:
             self.front_end.enable()
             try:
@@ -206,6 +211,10 @@ class IntegratedCompass:
                     alive, outputs[alive], count_window, failures[dead]
                 )
                 self.supervisor.observe(fallback)
+                if recorder is not None:
+                    recorder.on_fallback(
+                        "scalar", {alive: outputs[alive]}, count_window, fallback
+                    )
                 root.set(heading_deg=fallback.heading_deg, fallback=True)
                 if self.observer.metrics is not None:
                     _record_measurement(
@@ -268,6 +277,13 @@ class IntegratedCompass:
                 # the last-known-good heading with staleness metadata.
                 stale = self.supervisor.stale_fallback(fault)
                 self.supervisor.observe(stale)
+                if self.observer.recorder is not None:
+                    self.observer.recorder.on_fallback(
+                        path,
+                        {"x": detector_x, "y": detector_y},
+                        count_window,
+                        stale,
+                    )
                 if self.observer.metrics is not None:
                     _record_measurement(self.observer.metrics, stale, path)
                 return stale
@@ -284,6 +300,10 @@ class IntegratedCompass:
         )
         if self.supervisor.enabled:
             self.supervisor.observe(measurement)
+        if self.observer.recorder is not None:
+            self.observer.recorder.on_measurement(
+                path, detector_x, detector_y, count_window, result, measurement
+            )
         metrics = self.observer.metrics
         if metrics is not None:
             _record_measurement(metrics, measurement, path)

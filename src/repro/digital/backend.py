@@ -23,7 +23,7 @@ from ..observe.trace import (
 )
 from ..units import CORDIC_ITERATIONS
 from .control import CompassController
-from .cordic import CordicArctan
+from .cordic import CordicArctan, CordicStep
 from .counter import CounterConfig, CountResult, UpDownCounter
 from .display import DisplayDriver, DisplayFrame
 from .watch import WatchTimekeeper
@@ -39,6 +39,9 @@ class BackEndResult:
     cordic_cycles: int
     x_result: CountResult
     y_result: CountResult
+    #: Per-iteration CORDIC state; populated only when a tracer or
+    #: replay recorder asked the datapath to record its steps.
+    cordic_steps: Tuple[CordicStep, ...] = ()
 
 
 class DigitalBackEnd:
@@ -86,6 +89,7 @@ class DigitalBackEnd:
         """
         observer = self.observer
         tracing = observer.tracer is not None
+        record_steps = tracing or observer.recorder is not None
         with observer.span(STAGE_BACKEND):
             self.controller.run_measurement()
             self.counter.enable()
@@ -106,7 +110,7 @@ class DigitalBackEnd:
             with observer.span(STAGE_CORDIC) as cordic_span:
                 cordic_result = self.cordic.arctan_first_quadrant(
                     abs(-y_result.count), abs(x_result.count),
-                    record_steps=tracing,
+                    record_steps=record_steps,
                 )
                 heading = self.cordic.heading_degrees(
                     x_result.count, y_result.count
@@ -138,6 +142,7 @@ class DigitalBackEnd:
             cordic_cycles=cordic_result.cycles,
             x_result=x_result,
             y_result=y_result,
+            cordic_steps=cordic_result.steps,
         )
         self._last_result = result
         return result

@@ -64,6 +64,29 @@ class DegradedOperationError(FaultError):
     """
 
 
+class ReplayError(ReproError):
+    """A replay log cannot be trusted or used.
+
+    Raised by :mod:`repro.replay` whenever a recorded log fails
+    structural validation: bad magic/version, a CRC mismatch on any
+    record, a missing footer (truncated file), out-of-order sequence
+    numbers, or a header whose configuration fingerprint cannot be
+    reconstructed.  The contract is *fail loud*: a corrupted log must
+    never replay into a plausible-but-wrong heading.
+    """
+
+
+class DivergenceError(ReplayError):
+    """A replayed execution did not reproduce the recorded one bit-exactly.
+
+    Raised by the replay verifier and the differential conformance
+    runner when two executions of the same inputs disagree at any stage
+    — down to a specific counter tick count or CORDIC iteration
+    register.  Carries the first :class:`~repro.replay.diff.Divergence`
+    when raised by the diff machinery.
+    """
+
+
 class ServiceError(ReproError):
     """A request to the replicated :mod:`repro.service` layer failed.
 

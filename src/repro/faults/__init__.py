@@ -27,7 +27,14 @@ Quickstart::
     assert not result.silent_wrong()
 """
 
-from .campaign import CampaignCell, CampaignResult, FaultCampaign, Outcome
+from .campaign import (
+    CampaignCell,
+    CampaignResult,
+    FaultCampaign,
+    Outcome,
+    classify_heading,
+    classify_replay_record,
+)
 from .chaos import ChaosSoak, SoakConfig, SoakEvent, SoakReport
 from .model import REGISTRY, FaultRegistry, FaultSpec, registered_faults
 
@@ -43,5 +50,7 @@ __all__ = [
     "SoakConfig",
     "SoakEvent",
     "SoakReport",
+    "classify_heading",
+    "classify_replay_record",
     "registered_faults",
 ]

@@ -67,6 +67,51 @@ def heading_error_deg(measured: float, truth: float) -> float:
     return abs((measured - truth + 180.0) % 360.0 - 180.0)
 
 
+def classify_heading(
+    heading_deg: float,
+    truth_deg: float,
+    degraded: bool,
+    flags: Sequence[str] = (),
+    status: str = "ok",
+    tolerance_deg: float = TARGET_ACCURACY_DEG,
+) -> Tuple[Outcome, Optional[float], str]:
+    """Classify one served heading against its truth.
+
+    The campaign's verdict function, factored out of the sweep loop so
+    a *replayed* measurement (a :mod:`repro.replay` record carries the
+    served heading and health verdict) classifies through exactly the
+    same code path as the live campaign cell it reproduces.
+    """
+    error = heading_error_deg(heading_deg, truth_deg)
+    if degraded:
+        detail = ",".join(flags) or status
+        return Outcome.DEGRADED, error, f"flagged: {detail}"
+    if error <= tolerance_deg:
+        return Outcome.BENIGN, error, f"error {error:.3f} deg within spec"
+    return Outcome.SILENT_WRONG, error, f"UNFLAGGED error {error:.3f} deg"
+
+
+def classify_replay_record(
+    record, truth_deg: float, tolerance_deg: float = TARGET_ACCURACY_DEG
+) -> Tuple[Outcome, Optional[float], str]:
+    """Reproduce a campaign cell's classification from its replay record.
+
+    ``record`` is a :class:`repro.replay.MeasurementRecord` (duck-typed:
+    anything with ``heading_deg`` and an optional ``health`` carrying
+    ``status``/``flags``).
+    """
+    health = record.health
+    degraded = health is not None and health.status == "degraded"
+    return classify_heading(
+        record.heading_deg,
+        truth_deg,
+        degraded,
+        flags=() if health is None else tuple(health.flags),
+        status="ok" if health is None else health.status,
+        tolerance_deg=tolerance_deg,
+    )
+
+
 @dataclass(frozen=True)
 class CampaignCell:
     """One (fault, severity, heading, path) evaluation."""
@@ -152,6 +197,12 @@ class FaultCampaign:
         Optional :class:`~repro.observe.MetricsRegistry`; when given the
         campaign counts every classified cell by (path, outcome) and
         accumulates a heading-error histogram per path.
+    record_logs:
+        When true, every scalar (fault, severity) run records its
+        measurements into an in-memory replay log, kept in
+        :attr:`scalar_logs` keyed by ``(fault, severity)`` — the raw
+        material for re-deriving a cell's classification offline via
+        :func:`classify_replay_record`.
     """
 
     def __init__(
@@ -163,6 +214,7 @@ class FaultCampaign:
         faults: Optional[Sequence[str]] = None,
         tolerance_deg: float = TARGET_ACCURACY_DEG,
         metrics: Optional[MetricsRegistry] = None,
+        record_logs: bool = False,
     ):
         if len(headings_deg) == 0:
             raise ConfigurationError("campaign needs at least one heading")
@@ -178,6 +230,13 @@ class FaultCampaign:
         self.fault_names = list(faults) if faults is not None else registry.names()
         self.tolerance_deg = tolerance_deg
         self.metrics = metrics
+        self.record_logs = record_logs
+        #: (fault, severity) → the scalar run's in-memory LogRecorder;
+        #: populated only when ``record_logs`` is set.  Record 0 is the
+        #: clean warm-up measurement; detected (raising) cells emit no
+        #: record, so truths must be re-derived from each record's
+        #: inputs rather than assumed positional.
+        self.scalar_logs: Dict[Tuple[str, float], object] = {}
         for name in self.fault_names:
             registry.get(name)  # fail fast on unknown names
 
@@ -193,16 +252,24 @@ class FaultCampaign:
     def _classify(
         self, measurement, truth: float
     ) -> Tuple[Outcome, Optional[float], str]:
-        error = heading_error_deg(measurement.heading_deg, truth)
-        if measurement.degraded:
-            flags = ",".join(measurement.health.flags) or measurement.health.status
-            return Outcome.DEGRADED, error, f"flagged: {flags}"
-        if error <= self.tolerance_deg:
-            return Outcome.BENIGN, error, f"error {error:.3f} deg within spec"
-        return Outcome.SILENT_WRONG, error, f"UNFLAGGED error {error:.3f} deg"
+        return classify_heading(
+            measurement.heading_deg,
+            truth,
+            measurement.degraded,
+            flags=() if measurement.health is None else measurement.health.flags,
+            status="ok" if measurement.health is None
+            else measurement.health.status,
+            tolerance_deg=self.tolerance_deg,
+        )
 
     def _run_scalar(self, spec: FaultSpec, severity: float) -> List[CampaignCell]:
         compass = self._fresh_compass()
+        if self.record_logs:
+            from ..replay import LogRecorder, attach_recorder
+
+            self.scalar_logs[(spec.name, severity)] = attach_recorder(
+                compass, LogRecorder()
+            )
         # Arm the last-known-good fallback with one clean measurement.
         compass.measure_heading(self.headings_deg[0], self.field_magnitude_t)
         cells = []

@@ -87,6 +87,11 @@ class Observability:
         :meth:`Observer.close` via :mod:`repro.simulation.vcd`.
     vcd_timescale_ns:
         Timescale of the VCD export (wall-clock nanoseconds per unit).
+    replay_path:
+        When set, every measurement is captured at stage boundaries
+        into a self-checking replay log at this path (see
+        :mod:`repro.replay`); the footer is written on
+        :meth:`Observer.close`.
     """
 
     enabled: bool = False
@@ -96,6 +101,7 @@ class Observability:
     jsonl_path: Optional[str] = None
     vcd_path: Optional[str] = None
     vcd_timescale_ns: float = 1000.0
+    replay_path: Optional[str] = None
 
     @classmethod
     def on(cls, **overrides) -> "Observability":
@@ -104,21 +110,29 @@ class Observability:
 
 
 class Observer:
-    """The resolved (tracer, metrics) pair one compass reports into."""
+    """The resolved (tracer, metrics, recorder) bundle one compass reports into."""
 
-    __slots__ = ("tracer", "metrics")
+    __slots__ = ("tracer", "metrics", "recorder")
 
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        recorder=None,
     ):
         self.tracer = tracer
         self.metrics = metrics
+        #: Optional :class:`repro.replay.LogRecorder`; ``None`` keeps the
+        #: measurement hot path capture-free (one attribute check).
+        self.recorder = recorder
 
     @property
     def enabled(self) -> bool:
-        return self.tracer is not None or self.metrics is not None
+        return (
+            self.tracer is not None
+            or self.metrics is not None
+            or self.recorder is not None
+        )
 
     def span(self, name: str, **attributes):
         """A traced span, or the shared no-op span when tracing is off."""
@@ -136,9 +150,11 @@ class Observer:
         return None
 
     def close(self) -> None:
-        """Flush file-backed sinks (JSONL, VCD)."""
+        """Flush file-backed sinks (JSONL, VCD) and the replay recorder."""
         if self.tracer is not None:
             self.tracer.close()
+        if self.recorder is not None:
+            self.recorder.close()
 
 
 #: The do-nothing observer every un-instrumented component carries.
@@ -160,7 +176,15 @@ def build_observer(config: Observability) -> Observer:
             )
         tracer = Tracer(sinks=sinks)
     metrics = MetricsRegistry() if config.metrics else None
-    return Observer(tracer=tracer, metrics=metrics)
+    recorder = None
+    if config.replay_path is not None:
+        # Imported here: repro.replay sits above repro.observe in the
+        # layering (its format captures health reports, which import
+        # this package).
+        from ..replay.recorder import LogRecorder
+
+        recorder = LogRecorder(config.replay_path)
+    return Observer(tracer=tracer, metrics=metrics, recorder=recorder)
 
 
 __all__ = [

@@ -1,0 +1,96 @@
+"""Deterministic record/replay and differential conformance.
+
+The bench analogue of the paper's boundary-scan investment: every
+measurement can be captured at its stage boundaries into a
+self-checking log (:mod:`repro.replay.format`,
+:mod:`repro.replay.recorder`), re-executed bit-exactly from that log
+(:mod:`repro.replay.player`), diffed across execution paths
+(:mod:`repro.replay.diff`) and, when something disagrees, localised to
+the first divergent CORDIC iteration or counter tick
+(:mod:`repro.replay.bisect`).
+
+See ``docs/replay.md`` for the format specification and workflows.
+"""
+
+from .diff import (
+    CLASS_METADATA,
+    CLASS_SILENT_WRONG,
+    CLASS_TOLERATED,
+    DiffResult,
+    Divergence,
+    PATHS,
+    circular_delta_deg,
+    diff_record,
+    diff_records,
+    require_conformance,
+    run_conformance,
+)
+from .format import (
+    FORMAT_VERSION,
+    KIND_FALLBACK,
+    KIND_MEASURED,
+    MAGIC,
+    ChannelCapture,
+    CordicCapture,
+    CounterCapture,
+    HealthCapture,
+    LogHeader,
+    MeasurementRecord,
+    config_fingerprint,
+    true_heading_from_components,
+)
+from .bisect import (
+    TickDivergence,
+    bisect_counter_tick,
+    bisect_onset,
+    first_divergent_record,
+    localize_backend_fault,
+)
+from .player import (
+    ReplayLogReader,
+    ReplayPlayer,
+    read_log,
+    reader_from_records,
+    replay_full,
+    verify_full,
+)
+from .recorder import LogRecorder, attach_recorder
+
+__all__ = [
+    "CLASS_METADATA",
+    "CLASS_SILENT_WRONG",
+    "CLASS_TOLERATED",
+    "ChannelCapture",
+    "CordicCapture",
+    "CounterCapture",
+    "DiffResult",
+    "Divergence",
+    "FORMAT_VERSION",
+    "HealthCapture",
+    "KIND_FALLBACK",
+    "KIND_MEASURED",
+    "LogHeader",
+    "LogRecorder",
+    "MAGIC",
+    "MeasurementRecord",
+    "PATHS",
+    "ReplayLogReader",
+    "ReplayPlayer",
+    "TickDivergence",
+    "attach_recorder",
+    "bisect_counter_tick",
+    "bisect_onset",
+    "circular_delta_deg",
+    "config_fingerprint",
+    "diff_record",
+    "diff_records",
+    "first_divergent_record",
+    "localize_backend_fault",
+    "read_log",
+    "reader_from_records",
+    "replay_full",
+    "require_conformance",
+    "run_conformance",
+    "true_heading_from_components",
+    "verify_full",
+]

@@ -1,0 +1,231 @@
+"""Divergence localisation: from "a record differs" to *where* exactly.
+
+:mod:`repro.replay.diff` already names the first divergent stage inside
+one record (down to a CORDIC iteration register, because the log
+carries every iteration).  This module covers the two localisation
+problems the per-record diff cannot:
+
+* **Which record first diverges** in a long log, without replaying all
+  of it — :func:`bisect_onset` for regression-shaped divergence (a code
+  change or injected fault makes every record from some index on
+  diverge), :func:`first_divergent_record` as the assumption-free
+  linear fallback.
+* **Which clock tick** inside a counting window first disagrees —
+  :func:`bisect_counter_tick` re-counts prefix windows of the recorded
+  pulse train through a reference and a suspect counter, narrowing the
+  first differing tick with a galloping + binary search.  The counter
+  log records only the window totals (as the silicon only exposes the
+  final register on the bench), so tick-level localisation is a
+  re-execution problem, not a lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ReplayError
+from .format import ChannelCapture, LogHeader, MeasurementRecord
+from .player import ReplayLogReader
+
+
+def first_divergent_record(
+    n_records: int, is_divergent: Callable[[int], bool]
+) -> Optional[int]:
+    """Linear scan: the lowest index where ``is_divergent`` holds.
+
+    Makes no assumption about the divergence pattern; costs one replay
+    per record up to the first hit.
+    """
+    for index in range(n_records):
+        if is_divergent(index):
+            return index
+    return None
+
+
+def bisect_onset(
+    n_records: int, is_divergent: Callable[[int], bool]
+) -> Optional[int]:
+    """Galloping + binary search for the onset of a persistent divergence.
+
+    Assumes the regression shape: records before some onset index
+    agree, records from the onset on diverge.  Under that assumption
+    this costs ``O(log n)`` replays instead of ``O(n)``.  The found
+    onset is verified (divergent itself, predecessor clean); if the
+    pattern is not actually monotonic the verification walks backwards
+    to the true first divergence, degrading gracefully toward the
+    linear scan.
+    """
+    if n_records == 0:
+        return None
+    if not is_divergent(n_records - 1):
+        # No divergence at the end: under the persistence assumption the
+        # log is clean; fall back to a linear sweep to be sure.
+        return first_divergent_record(n_records - 1, is_divergent)
+    # Gallop backwards from the end to bracket the onset.
+    span = 1
+    high = n_records - 1
+    low = high
+    while low > 0 and is_divergent(low - 1):
+        high = low - 1
+        low = max(0, high - span)
+        span *= 2
+        if is_divergent(low):
+            continue
+        break
+    # Invariant: is_divergent(high), and (low == 0 or not is_divergent(low)).
+    while low < high:
+        mid = (low + high) // 2
+        if is_divergent(mid):
+            high = mid
+        else:
+            low = mid + 1
+    # Non-monotonic patterns can leave earlier divergent records behind
+    # the bracket; walk back until the predecessor is clean.
+    while high > 0 and is_divergent(high - 1):
+        high -= 1
+    return high
+
+
+@dataclass(frozen=True)
+class TickDivergence:
+    """The first clock tick where two counters disagree on one channel."""
+
+    channel: str
+    tick: int
+    total_ticks: int
+    reference_count: int
+    suspect_count: int
+
+    def describe(self) -> str:
+        return (
+            f"counter.{self.channel} first diverges at tick "
+            f"{self.tick}/{self.total_ticks} (reference running count "
+            f"{self.reference_count}, suspect {self.suspect_count})"
+        )
+
+
+def _prefix_count(counter, detector, t_start: float, ticks: int) -> int:
+    """Running count after the first ``ticks`` clock ticks of the window."""
+    prefix_end = t_start + ticks * counter.config.tick
+    return counter.count_window(detector, (t_start, prefix_end)).count
+
+
+def bisect_counter_tick(
+    header: LogHeader,
+    suspect_counter,
+    record: MeasurementRecord,
+    channel: str,
+) -> Optional[TickDivergence]:
+    """First clock tick where a suspect counter departs from the design.
+
+    Re-counts prefix windows ``[t0, t0 + k·T_clk)`` of the recorded
+    pulse train through a reference counter (rebuilt from the log
+    header) and the suspect, galloping then bisecting on the first
+    ``k`` where the running counts differ.  Assumes the divergence is
+    persistent once it appears (a stuck bit, wrong increment, or
+    truncated register keeps disagreeing) — the minimal ``k`` is then
+    exact, verified by checking tick ``k − 1`` agrees.
+
+    Returns ``None`` when the full-window counts already agree.
+    """
+    capture = record.channels.get(channel)
+    if capture is None:
+        raise ReplayError(
+            f"record {record.seq} has no recorded {channel!r} channel"
+        )
+    reference = header.build_backend().counter
+    reference.enable()
+    if hasattr(suspect_counter, "enable"):
+        suspect_counter.enable()
+    if reference.config.clock_hz != suspect_counter.config.clock_hz:
+        raise ReplayError(
+            "reference and suspect counters run different clocks; "
+            "tick indices would not be comparable"
+        )
+    detector = capture.to_detector_output()
+    t_start = record.window[0]
+    total = reference.count_window(detector, record.window).total_ticks
+    if total < 1:
+        raise ReplayError(
+            f"record {record.seq} has an empty {channel!r} counting window"
+        )
+
+    def differs(ticks: int) -> bool:
+        return _prefix_count(
+            reference, detector, t_start, ticks
+        ) != _prefix_count(suspect_counter, detector, t_start, ticks)
+
+    if not differs(total):
+        return None
+    # Gallop from the start to bracket the first divergent tick count.
+    low, high = 0, 1
+    while high < total and not differs(high):
+        low, high = high, min(total, high * 2)
+    while low < high - 1:
+        mid = (low + high) // 2
+        if differs(mid):
+            high = mid
+        else:
+            low = mid
+    while high > 1 and differs(high - 1):
+        high -= 1
+    return TickDivergence(
+        channel=channel,
+        tick=high,
+        total_ticks=total,
+        reference_count=_prefix_count(reference, detector, t_start, high),
+        suspect_count=_prefix_count(suspect_counter, detector, t_start, high),
+    )
+
+
+def localize_backend_fault(
+    reader: ReplayLogReader,
+    suspect_backend,
+    tolerance_deg: float = 0.0,
+):
+    """End-to-end localisation of a faulted back-end against a log.
+
+    Finds the first divergent record (onset bisection, linear-verified),
+    then the first divergent stage inside it; when that stage is a
+    counter, drills further to the first divergent clock tick.  Returns
+    ``(record_index, Divergence, Optional[TickDivergence])`` or ``None``
+    when the suspect back-end conforms.
+    """
+    from .diff import diff_record
+    from .player import ReplayPlayer
+
+    player = ReplayPlayer(reader.header, back_end=suspect_backend)
+    replayed = {}
+
+    def divergence_at(index: int):
+        if index not in replayed:
+            replayed[index] = player.replay_record(reader.record(index))
+        return diff_record(
+            reader.record(index),
+            replayed[index],
+            tolerance_deg=tolerance_deg,
+            compare_health=False,
+        )
+
+    onset = bisect_onset(len(reader), lambda i: divergence_at(i) is not None)
+    if onset is None:
+        return None
+    divergence = divergence_at(onset)
+    tick = None
+    if divergence.stage.startswith("counter."):
+        channel = divergence.stage.split(".")[1]
+        tick = bisect_counter_tick(
+            reader.header, suspect_backend.counter, reader.record(onset),
+            channel,
+        )
+    return onset, divergence, tick
+
+
+__all__ = [
+    "TickDivergence",
+    "bisect_counter_tick",
+    "bisect_onset",
+    "first_divergent_record",
+    "localize_backend_fault",
+]

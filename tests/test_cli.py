@@ -10,9 +10,11 @@ from repro.errors import (
     ComplianceError,
     ConfigurationError,
     DegradedOperationError,
+    DivergenceError,
     FaultError,
     ProtocolError,
     QuorumError,
+    ReplayError,
     ReproError,
     ServiceError,
 )
@@ -31,6 +33,14 @@ class TestParser:
         ):
             args = parser.parse_args([command])
             assert args.command == command
+        # Commands with required arguments.
+        for argv in (
+            ["record", "--out", "x.rplog"],
+            ["replay", "x.rplog"],
+            ["diff", "x.rplog"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
 
 
 class TestMeasure:
@@ -171,6 +181,10 @@ class TestTypedExitCodes:
         assert exit_code_for(CircuitOpenError("x")) == 12
         assert exit_code_for(QuorumError("x")) == 13
 
+    def test_replay_error_codes(self):
+        assert exit_code_for(ReplayError("x")) == 14
+        assert exit_code_for(DivergenceError("x")) == 15
+
     def test_weak_field_exits_with_protocol_code(self, capsys):
         # 0.001 µT is below the counter trust threshold → ProtocolError.
         assert main(["measure", "--field", "0.001"]) == 5
@@ -265,3 +279,72 @@ class TestSoakCommand:
         ])
         assert code == 1
         assert "RESULT: FAIL" in capsys.readouterr().out
+
+
+class TestReplayCommands:
+    def test_record_replay_diff_smoke(self, capsys, tmp_path):
+        log = str(tmp_path / "sweep.rplog")
+        report = tmp_path / "divergences.json"
+        assert main(["record", "--out", log, "--points", "4"]) == 0
+        assert "4 measurements" in capsys.readouterr().out
+        assert main(["replay", log]) == 0
+        assert "RESULT: PASS" in capsys.readouterr().out
+        assert main(["replay", log, "--full"]) == 0
+        assert main([
+            "diff", log, "--paths", "recorded", "scalar", "batch",
+            "--json", str(report),
+        ]) == 0
+        assert "RESULT: PASS" in capsys.readouterr().out
+        record = json.loads(report.read_text())
+        assert record["n_records"] == 4
+        assert all(not r["divergences"] for r in record["results"])
+
+    def test_batch_recording_replays_through_scalar_chain(self, capsys, tmp_path):
+        log = str(tmp_path / "batch.rplog")
+        assert main(["record", "--out", log, "--points", "3", "--batch"]) == 0
+        assert main(["replay", log, "--full"]) == 0
+        assert "RESULT: PASS" in capsys.readouterr().out
+
+    def test_truncated_log_exits_with_replay_code(self, capsys, tmp_path):
+        log = tmp_path / "cut.rplog"
+        assert main(["record", "--out", str(log), "--points", "3"]) == 0
+        lines = log.read_text().splitlines()
+        log.write_text("\n".join(lines[:-1]) + "\n")  # drop the footer
+        capsys.readouterr()
+        assert main(["replay", str(log)]) == 14
+        assert "no footer" in capsys.readouterr().err
+
+    def test_corrupted_record_exits_with_replay_code(self, capsys, tmp_path):
+        log = tmp_path / "bad.rplog"
+        assert main(["record", "--out", str(log), "--points", "3"]) == 0
+        lines = log.read_text().splitlines()
+        lines[2] = lines[2].replace('"heading_deg"', '"heading_DEG"', 1)
+        log.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["replay", str(log)]) == 14
+
+    def test_silent_wrong_divergence_exits_15(self, capsys, tmp_path):
+        log = tmp_path / "wrong.rplog"
+        assert main(["record", "--out", str(log), "--points", "3"]) == 0
+        # Rewrite one recorded heading: the log now disagrees with what
+        # its own pulses replay to — a silent-wrong divergence.
+        lines = log.read_text().splitlines()
+        mutated = []
+        for line in lines:
+            record = json.loads(line)
+            body = record.get("record")
+            if body is not None and body["seq"] == 1:
+                from repro.replay import MeasurementRecord
+                from repro.replay.format import encode_line
+                import dataclasses
+                parsed = MeasurementRecord.from_dict(body)
+                parsed = dataclasses.replace(
+                    parsed, heading_deg=parsed.heading_deg + 45.0
+                )
+                line = encode_line("record", parsed.to_dict())
+            mutated.append(line)
+        log.write_text("\n".join(mutated) + "\n")
+        capsys.readouterr()
+        assert main(["diff", str(log), "--paths", "recorded", "backend"]) == 15
+        err = capsys.readouterr().err
+        assert "silent-wrong" in err

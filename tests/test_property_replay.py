@@ -1,0 +1,165 @@
+"""Property tests: a damaged replay log never yields a wrong heading.
+
+The safety claim of the log format is not "corruption is impossible" but
+"corruption is **loud**": any truncation or byte-level damage either
+leaves the decoded records bit-identical to the originals (the damage
+hit redundant whitespace-free JSON it could not actually change — which
+cannot happen here, but the property allows it) or raises
+:class:`~repro.errors.ReplayError`.  What must never happen is a log
+that reads successfully and replays to a *different* heading.
+
+Also covered: record serialisation round-trips, and the bisection
+primitive returns a true local onset for arbitrary divergence patterns.
+"""
+
+import io
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compass import IntegratedCompass
+from repro.errors import ReplayError
+from repro.replay import (
+    LogRecorder,
+    MeasurementRecord,
+    ReplayPlayer,
+    attach_recorder,
+    bisect_onset,
+    circular_delta_deg,
+    read_log,
+)
+from repro.replay.player import ReplayLogReader
+
+
+def _record_log_text() -> str:
+    buffer = io.StringIO()
+    compass = IntegratedCompass()
+    attach_recorder(compass, LogRecorder(buffer))
+    for truth in (10.0, 123.0, 300.0):
+        compass.measure_heading(truth, 50.0e-6)
+    compass.observer.close()
+    return buffer.getvalue()
+
+
+LOG_TEXT = _record_log_text()
+PRISTINE = read_log(io.StringIO(LOG_TEXT))
+TRUE_HEADINGS = [record.heading_deg for record in PRISTINE]
+
+
+def _read_everything(text: str):
+    """Fully consume a log: envelope, every record, back-end replay."""
+    reader = read_log(io.StringIO(text))
+    records = reader.records()
+    ReplayPlayer(reader.header).verify(reader)
+    return records
+
+
+class TestDamagedLogsAreLoud:
+    @given(cut=st.integers(min_value=0, max_value=len(LOG_TEXT) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_never_yields_a_wrong_heading(self, cut):
+        try:
+            records = _read_everything(LOG_TEXT[:cut])
+        except ReplayError:
+            return  # loud failure: the acceptable outcome
+        for record in records:
+            assert record.heading_deg in TRUE_HEADINGS
+
+    @given(
+        pos=st.integers(min_value=0, max_value=len(LOG_TEXT) - 1),
+        char=st.characters(
+            codec="ascii", exclude_categories=("Cc",), exclude_characters="\n"
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_byte_corruption_never_yields_a_wrong_heading(self, pos, char):
+        if LOG_TEXT[pos] in ("\n", char):
+            return  # not a corruption: same text or broken line structure
+        mutated = LOG_TEXT[:pos] + char + LOG_TEXT[pos + 1:]
+        try:
+            records = _read_everything(mutated)
+        except ReplayError:
+            return
+        assert records == PRISTINE.records()
+
+    @given(drop=st.integers(min_value=0, max_value=len(LOG_TEXT.splitlines()) - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_deleted_line_is_always_detected(self, drop):
+        lines = LOG_TEXT.splitlines()
+        del lines[drop]
+        with pytest.raises(ReplayError):
+            _read_everything("\n".join(lines) + "\n")
+
+    @given(
+        a=st.integers(min_value=0, max_value=4),
+        b=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reordered_lines_are_always_detected(self, a, b):
+        lines = LOG_TEXT.splitlines()
+        if a == b:
+            return
+        lines[a], lines[b] = lines[b], lines[a]
+        with pytest.raises(ReplayError):
+            _read_everything("\n".join(lines) + "\n")
+
+
+class TestRecordRoundTrip:
+    @given(index=st.integers(min_value=0, max_value=len(PRISTINE) - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_record_dict_round_trip_is_identity(self, index):
+        record = PRISTINE.record(index)
+        assert MeasurementRecord.from_dict(record.to_dict()) == record
+
+    def test_garbage_record_dicts_raise_replay_error(self):
+        for garbage in ({}, {"seq": 0}, {"seq": 0, "kind": "measured"}):
+            with pytest.raises(ReplayError):
+                MeasurementRecord.from_dict(garbage)
+
+
+class TestBisectOnsetProperties:
+    @given(flags=st.lists(st.booleans(), min_size=1, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_onset_is_divergent_with_clean_predecessor(self, flags):
+        found = bisect_onset(len(flags), lambda i: flags[i])
+        if not any(flags):
+            assert found is None
+        else:
+            assert flags[found]
+            assert found == 0 or not flags[found - 1]
+
+    @given(
+        onset=st.integers(min_value=0, max_value=63),
+        length=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_divergence_finds_exact_onset(self, onset, length):
+        flags = [i >= onset for i in range(length)]
+        expected = onset if onset < length else None
+        assert bisect_onset(length, lambda i: flags[i]) == expected
+
+
+class TestCircularDeltaProperties:
+    @given(
+        a=st.floats(min_value=0.0, max_value=360.0),
+        b=st.floats(min_value=0.0, max_value=360.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_symmetric_bounded_and_zero_on_equal(self, a, b):
+        delta = circular_delta_deg(a, b)
+        assert 0.0 <= delta <= 180.0
+        assert delta == circular_delta_deg(b, a)
+        assert circular_delta_deg(a, a) == 0.0
+
+    @given(
+        a=st.floats(min_value=0.0, max_value=360.0),
+        k=st.integers(min_value=-3, max_value=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invariant_under_full_turns(self, a, k):
+        assert math.isclose(
+            circular_delta_deg(a + 360.0 * k, a), 0.0, abs_tol=1e-9
+        )
