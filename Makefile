@@ -1,6 +1,6 @@
 # Convenience targets for the compass reproduction.
 
-.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak replay all
+.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak replay fastpath all
 
 install:
 	pip install -e . || python setup.py develop
@@ -65,6 +65,17 @@ replay:
 	PYTHONPATH=src python -m repro diff replay-sweep.rplog \
 		--paths recorded scalar batch instrumented \
 		--json replay-divergence.json
+
+# Certify the closed-form analog fast path: record a seeded sweep,
+# diff it through the scalar, batch and fastpath paths (exit 15 on
+# silent-wrong), then regenerate BENCH_fastpath.json with the >=20x gate.
+fastpath:
+	PYTHONPATH=src python -m repro record --out fastpath-sweep.rplog --points 24
+	PYTHONPATH=src python -m repro diff fastpath-sweep.rplog \
+		--paths recorded scalar batch fastpath \
+		--json fastpath-divergence.json
+	PYTHONPATH=src python -m repro sweep --points 24 --fastpath
+	PYTHONPATH=src pytest benchmarks/bench_fastpath.py --benchmark-only -s
 
 datasheet:
 	python -m repro datasheet

@@ -78,6 +78,12 @@ class Comparator:
     had not yet tripped.
     """
 
+    #: At most this many scratch-buffer shapes are retained; a chunked
+    #: batch sweep alternates between the full chunk shape and one
+    #: remainder shape, so two entries make every steady-state call a hit
+    #: while a long-lived service fed arbitrary chunk sizes stays bounded.
+    SCRATCH_CAPACITY = 2
+
     def __init__(self, params: ComparatorParameters):
         self.params = params
         self._code_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
@@ -94,10 +100,13 @@ class Comparator:
         ``(forced_high, forced_low, encoded, parity, fall)`` —
         reallocating these multi-megabyte temporaries per chunk costs
         kernel page faults; none of them escape the method, so reuse is
-        safe.
+        safe.  The cache is LRU-bounded at :attr:`SCRATCH_CAPACITY`
+        shapes so varying chunk sizes cannot grow memory without bound.
         """
-        buffers = self._batch_scratch.get(shape)
+        buffers = self._batch_scratch.pop(shape, None)
         if buffers is None:
+            while len(self._batch_scratch) >= self.SCRATCH_CAPACITY:
+                self._batch_scratch.pop(next(iter(self._batch_scratch)))
             buffers = (
                 np.empty(shape, dtype=bool),
                 np.empty(shape, dtype=bool),
@@ -105,7 +114,8 @@ class Comparator:
                 np.empty(shape, dtype=np.int8),
                 np.empty((shape[0], shape[1] - 1), dtype=bool),
             )
-            self._batch_scratch[shape] = buffers
+        # (Re-)insert so dict order tracks recency: oldest first.
+        self._batch_scratch[shape] = buffers
         return buffers
 
     def _states(self, v: np.ndarray) -> np.ndarray:
@@ -173,8 +183,8 @@ class Comparator:
             # 2n+3 and halves the matrix memory traffic.
             set_codes = (2 * np.arange(n, dtype=np.int64) + 3).astype(np.int32)
             reset_codes = set_codes - np.int32(1)
-            self._code_cache = {n: (set_codes, reset_codes)}
             cached = (set_codes, reset_codes)
+            self._code_cache[n] = cached
         return cached
 
     def falling_edges_batch(

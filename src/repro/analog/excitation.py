@@ -9,8 +9,8 @@ the excitation current.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Tuple
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -44,8 +44,8 @@ class ExcitationSettings:
     """
 
     current_pp: float = EXCITATION_CURRENT_PP
-    oscillator: OscillatorParameters = OscillatorParameters()
-    converter: VIConverterParameters = VIConverterParameters()
+    oscillator: OscillatorParameters = field(default_factory=OscillatorParameters)
+    converter: VIConverterParameters = field(default_factory=VIConverterParameters)
     soft_start_periods: float = 0.0
 
     def __post_init__(self) -> None:
@@ -73,7 +73,8 @@ class ExcitationSource:
 
     CHANNELS = ("x", "y")
 
-    def __init__(self, settings: ExcitationSettings = ExcitationSettings()):
+    def __init__(self, settings: Optional[ExcitationSettings] = None):
+        settings = ExcitationSettings() if settings is None else settings
         gm = settings.current_amplitude / settings.oscillator.amplitude
         converter_params = replace(settings.converter, transconductance=gm)
         self.settings = settings

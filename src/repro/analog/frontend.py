@@ -15,7 +15,8 @@ pulse-position method was chosen for (§2.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from ..errors import ConfigurationError
 from ..observe import DISABLED, Observer
@@ -23,13 +24,16 @@ from ..observe.trace import (
     STAGE_CHANNEL,
     STAGE_COMPARATOR,
     STAGE_EXCITATION,
+    STAGE_FASTPATH,
     STAGE_PICKUP,
 )
 from ..physics.noise import NoiseBudget, NOISELESS
 from ..sensors.fluxgate import FluxgateSensor, SensorWaveforms
 from ..simulation.engine import TimeGrid
 from ..simulation.signals import Trace
+from . import fastpath
 from .excitation import ExcitationSettings, ExcitationSource
+from .fastpath import FastPathStats
 from .mux import SensorMultiplexer
 from .comparator import PickupAmplifier
 from .pulse_detector import DetectorOutput, DetectorParameters, PulsePositionDetector
@@ -37,11 +41,16 @@ from .pulse_detector import DetectorOutput, DetectorParameters, PulsePositionDet
 
 @dataclass
 class ChannelMeasurement:
-    """Everything produced by one single-channel front-end run."""
+    """Everything produced by one single-channel front-end run.
+
+    A fast-path solve produces only the detector output — no waveform is
+    ever materialised, so ``waveforms`` and ``amplified_pickup`` are
+    ``None`` for those measurements.
+    """
 
     channel: str
-    waveforms: SensorWaveforms
-    amplified_pickup: Trace
+    waveforms: Optional[SensorWaveforms]
+    amplified_pickup: Optional[Trace]
     detector_output: DetectorOutput
 
     @property
@@ -51,19 +60,29 @@ class ChannelMeasurement:
 
 @dataclass(frozen=True)
 class FrontEndConfig:
-    """Front-end configuration knobs gathered in one place."""
+    """Front-end configuration knobs gathered in one place.
 
-    excitation: ExcitationSettings = ExcitationSettings()
-    detector: DetectorParameters = DetectorParameters()
+    ``fastpath`` opts in to the closed-form pulse-timing solver
+    (:mod:`repro.analog.fastpath`): noiseless measurements on the tanh
+    core skip the sampled simulation entirely and compute the comparator
+    edge times algebraically, falling back to the stepped engine
+    whenever the closed form would not apply.  Default off — the stepped
+    path stays bit-identical to previous releases.
+    """
+
+    excitation: ExcitationSettings = field(default_factory=ExcitationSettings)
+    detector: DetectorParameters = field(default_factory=DetectorParameters)
     amplifier_gain: float = 100.0
     noise: NoiseBudget = NOISELESS
     noise_seed: int = 0
+    fastpath: bool = False
 
 
 class AnalogFrontEnd:
     """Excitation source + pickup amplifier + pulse-position detector."""
 
-    def __init__(self, config: FrontEndConfig = FrontEndConfig()):
+    def __init__(self, config: Optional[FrontEndConfig] = None):
+        config = FrontEndConfig() if config is None else config
         self.config = config
         self.excitation = ExcitationSource(config.excitation)
         self.amplifier = PickupAmplifier(
@@ -74,6 +93,9 @@ class AnalogFrontEnd:
         self.detector = PulsePositionDetector(config.detector)
         self.multiplexer = SensorMultiplexer()
         self._enabled = True
+        #: Routing decisions of the opt-in fast path (attempts, uses,
+        #: fallback reasons) — a test and debugging aid.
+        self.fastpath_stats = FastPathStats()
         #: Set by the owning compass; DISABLED means every span/metric
         #: call below is a no-op costing one attribute check.
         self.observer: Observer = DISABLED
@@ -116,6 +138,10 @@ class AnalogFrontEnd:
         """
         if not self._enabled:
             raise ConfigurationError("front-end is powered down")
+        if self.config.fastpath:
+            fast = self._measure_channel_fastpath(sensor, channel, h_external, grid)
+            if fast is not None:
+                return fast
         observer = self.observer
         with observer.span(
             f"{STAGE_CHANNEL}.{channel}", channel=channel, h_external=h_external
@@ -143,5 +169,44 @@ class AnalogFrontEnd:
             channel=channel,
             waveforms=waveforms,
             amplified_pickup=amplified,
+            detector_output=detected,
+        )
+
+    def _measure_channel_fastpath(
+        self,
+        sensor: FluxgateSensor,
+        channel: str,
+        h_external: float,
+        grid: TimeGrid,
+    ) -> Optional[ChannelMeasurement]:
+        """Attempt the closed-form solve; ``None`` routes to the stepped path."""
+        stats = self.fastpath_stats
+        stats.attempted += 1
+        reason = fastpath.ineligibility_reason(self, sensor)
+        detected: Optional[DetectorOutput] = None
+        if reason is None:
+            # Keep the multiplexing/power-gating state identical to a
+            # stepped measurement — observable via measured_offset etc.
+            self.excitation.select_channel(channel)
+            self.multiplexer.select(channel)
+            detected = fastpath.solve_channel(self, sensor, channel, h_external, grid)
+        if detected is None:
+            stats.record_fallback(reason or "validity-envelope")
+            return None
+        stats.used += 1
+        observer = self.observer
+        with observer.span(
+            f"{STAGE_CHANNEL}.{channel}",
+            channel=channel,
+            h_external=h_external,
+            fastpath=True,
+        ) as span:
+            with observer.span(STAGE_FASTPATH, channel=channel) as fp_span:
+                fp_span.set(edges=len(detected.edges))
+            span.set(duty=detected.duty_cycle())
+        return ChannelMeasurement(
+            channel=channel,
+            waveforms=None,
+            amplified_pickup=None,
             detector_output=detected,
         )

@@ -23,7 +23,7 @@ component measured" and no ADC is needed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -124,11 +124,16 @@ class DetectorParameters:
         cause early release (the classic Schmitt-trigger sizing rule).
     comparator_delay:
         Propagation delay of both comparators [s].
+    offset:
+        Static input-referred offset of both comparators [V], referred to
+        the amplifier output.  A common-mode shift of both thresholds —
+        the dominant untrimmed imperfection of a Sea-of-Gates comparator.
     """
 
     threshold: float = 0.10
     hysteresis: float = 0.040
     comparator_delay: float = 50e-9
+    offset: float = 0.0
 
     def __post_init__(self) -> None:
         if self.threshold <= 0.0:
@@ -138,13 +143,15 @@ class DetectorParameters:
 class PulsePositionDetector:
     """Comparator pair + SR latch converting pickup pulses to a logic signal."""
 
-    def __init__(self, params: DetectorParameters = DetectorParameters()):
+    def __init__(self, params: Optional[DetectorParameters] = None):
+        params = DetectorParameters() if params is None else params
         self.params = params
         p = params
         self.comparator_positive = Comparator(
             ComparatorParameters(
                 threshold=p.threshold,
                 hysteresis=p.hysteresis,
+                offset=p.offset,
                 delay=p.comparator_delay,
             )
         )
@@ -153,6 +160,7 @@ class PulsePositionDetector:
             ComparatorParameters(
                 threshold=p.threshold,
                 hysteresis=p.hysteresis,
+                offset=p.offset,
                 delay=p.comparator_delay,
             )
         )

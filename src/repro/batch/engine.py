@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analog import fastpath
 from ..analog.excitation import ExcitationSource
 from ..analog.frontend import AnalogFrontEnd
 from ..analog.pulse_detector import DetectorOutput
@@ -268,6 +269,10 @@ class BatchCompass:
         front_end: AnalogFrontEnd = self.compass.front_end
         front_end.excitation.select_channel(channel)
         front_end.multiplexer.select(channel)
+        if front_end.config.fastpath:
+            solved = self._solve_channel_fastpath(sensor, channel, h_values, grid)
+            if solved is not None:
+                return solved
         entry = self.cache.entry(
             front_end.excitation, grid, channel, sensor.params.series_resistance
         )
@@ -306,6 +311,39 @@ class BatchCompass:
                     ).inc(channel=channel)
             span.set(rows=int(h_values.size))
         return outputs
+
+    def _solve_channel_fastpath(
+        self,
+        sensor: FluxgateSensor,
+        channel: str,
+        h_values: np.ndarray,
+        grid: TimeGrid,
+    ) -> Optional[List[DetectorOutput]]:
+        """Vectorised closed-form solve for one channel's whole batch.
+
+        Falls back (returns ``None``) for the entire batch when any row
+        is ineligible, so routing stays deterministic per sweep.
+        """
+        front_end: AnalogFrontEnd = self.compass.front_end
+        stats = front_end.fastpath_stats
+        stats.attempted += int(h_values.size)
+        reason = fastpath.ineligibility_reason(front_end, sensor)
+        solved: Optional[List[DetectorOutput]] = None
+        if reason is None:
+            solved = fastpath.solve_channel_batch(
+                front_end, sensor, channel, h_values, grid
+            )
+        if solved is None:
+            for _ in range(int(h_values.size)):
+                stats.record_fallback(reason or "validity-envelope")
+            return None
+        stats.used += int(h_values.size)
+        observer = self.compass.observer
+        with observer.span(
+            f"batch.channel.{channel}", channel=channel, fastpath=True
+        ) as span:
+            span.set(rows=int(h_values.size))
+        return solved
 
     # -- sweep APIs --------------------------------------------------------------
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..analog.frontend import AnalogFrontEnd, FrontEndConfig
 from ..analog.mux import MeasurementSchedule
@@ -80,13 +80,13 @@ class CompassConfig:
     sensor: FluxgateParameters = IDEAL_TARGET
     core_model: str = "tanh"
     imperfections: PairImperfections = IDEAL_PAIR
-    front_end: FrontEndConfig = FrontEndConfig()
-    schedule: MeasurementSchedule = MeasurementSchedule()
-    counter: CounterConfig = CounterConfig()
+    front_end: FrontEndConfig = field(default_factory=FrontEndConfig)
+    schedule: MeasurementSchedule = field(default_factory=MeasurementSchedule)
+    counter: CounterConfig = field(default_factory=CounterConfig)
     cordic_iterations: int = CORDIC_ITERATIONS
     samples_per_period: int = TimeGrid.DEFAULT_SAMPLES_PER_PERIOD
-    health: HealthConfig = HealthConfig()
-    observe: Observability = Observability()
+    health: HealthConfig = field(default_factory=HealthConfig)
+    observe: Observability = field(default_factory=Observability)
 
 
 class IntegratedCompass:
@@ -106,7 +106,8 @@ class IntegratedCompass:
     True
     """
 
-    def __init__(self, config: CompassConfig = CompassConfig()):
+    def __init__(self, config: Optional[CompassConfig] = None):
+        config = CompassConfig() if config is None else config
         self.config = config
         self.sensors = OrthogonalSensorPair(
             config.sensor,

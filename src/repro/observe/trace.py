@@ -42,6 +42,7 @@ STAGE_CHANNEL = "channel"          # channel.x / channel.y
 STAGE_EXCITATION = "excitation"
 STAGE_PICKUP = "pickup"
 STAGE_COMPARATOR = "comparator"
+STAGE_FASTPATH = "fastpath"        # closed-form front-end solve
 STAGE_BACKEND = "backend"
 STAGE_COUNTER = "counter"          # counter.x / counter.y
 STAGE_CORDIC = "cordic"

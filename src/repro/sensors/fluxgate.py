@@ -81,6 +81,11 @@ class FluxgateSensor:
         ``"jiles-atherton"`` (hysteretic, for ablations).
     """
 
+    #: LRU bound on the per-shape batch scratch: the chunked sweep
+    #: alternates between the chunk shape and one remainder shape, so two
+    #: entries cover steady state while arbitrary chunk sizes stay bounded.
+    SCRATCH_CAPACITY = 2
+
     def __init__(self, params: FluxgateParameters, core_model: str = "tanh"):
         self.params = params
         self.core: MagnetisationModel = make_core(core_model, params.core)
@@ -177,10 +182,13 @@ class FluxgateSensor:
         if h.ndim != 1:
             raise ConfigurationError("h_external must be a 1-D array of fields")
         shape = (h.size, current.t.size)
-        scratch = self._batch_scratch.get(shape)
+        scratch = self._batch_scratch.pop(shape, None)
         if scratch is None:
+            while len(self._batch_scratch) >= self.SCRATCH_CAPACITY:
+                self._batch_scratch.pop(next(iter(self._batch_scratch)))
             scratch = (np.empty(shape), np.empty(shape))
-            self._batch_scratch[shape] = scratch
+        # (Re-)insert so dict order tracks recency: oldest first.
+        self._batch_scratch[shape] = scratch
         h_total, deriv = scratch
         np.add(current.v * p.excitation_coil_constant, h[:, None], out=h_total)
         b = self.core.flux_density_into(h_total, out=h_total)

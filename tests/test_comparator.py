@@ -153,3 +153,37 @@ class TestNoiseStream:
         assert amp.noise_draws == 6
         with pytest.raises(ConfigurationError):
             amp.consume_noise_draws(-1)
+
+
+class TestBatchCaches:
+    def _edges(self, comp, n):
+        t = np.linspace(0.0, 1e-3, n)
+        v = np.sin(2 * np.pi * 4e3 * t)[None, :]
+        return comp.falling_edges_batch(v, t)
+
+    def test_code_cache_holds_multiple_grid_sizes(self):
+        # Regression: a new grid size used to *replace* the whole cache,
+        # so alternating sizes (chunk + remainder) recomputed every call.
+        comp = Comparator(ComparatorParameters(threshold=0.1))
+        self._edges(comp, 500)
+        first = comp._code_cache[500]
+        self._edges(comp, 300)
+        assert set(comp._code_cache) == {500, 300}
+        self._edges(comp, 500)
+        assert comp._code_cache[500] is first  # not recomputed
+
+    def test_scratch_cache_bounded_lru(self):
+        comp = Comparator(ComparatorParameters(threshold=0.1))
+        for n in (400, 500, 600):
+            self._edges(comp, n)
+        assert len(comp._batch_scratch) == comp.SCRATCH_CAPACITY == 2
+        # Oldest shape (400) was evicted; most recent two remain.
+        assert set(comp._batch_scratch) == {(1, 500), (1, 600)}
+
+    def test_scratch_reuse_tracks_recency(self):
+        comp = Comparator(ComparatorParameters(threshold=0.1))
+        self._edges(comp, 400)
+        self._edges(comp, 500)
+        self._edges(comp, 400)  # refresh 400 -> 500 is now oldest
+        self._edges(comp, 600)
+        assert set(comp._batch_scratch) == {(1, 400), (1, 600)}

@@ -175,3 +175,22 @@ class TestSimulatedVsAnalyticDuty:
         amplified = PickupAmplifier(gain=100.0).amplify(waves.pickup_voltage)
         duty = PulsePositionDetector().detect(amplified).duty_cycle()
         assert duty == pytest.approx(0.5, abs=0.02)
+
+
+class TestBatchScratchBound:
+    def test_scratch_bounded_lru(self, current):
+        sensor = FluxgateSensor(IDEAL_TARGET)
+        for rows in (2, 3, 4):
+            sensor.simulate_batch(current, np.zeros(rows))
+        assert len(sensor._batch_scratch) == sensor.SCRATCH_CAPACITY == 2
+        n = current.t.size
+        assert set(sensor._batch_scratch) == {(3, n), (4, n)}
+
+    def test_scratch_reuse_tracks_recency(self, current):
+        sensor = FluxgateSensor(IDEAL_TARGET)
+        sensor.simulate_batch(current, np.zeros(2))
+        sensor.simulate_batch(current, np.zeros(3))
+        sensor.simulate_batch(current, np.zeros(2))  # refresh -> 3 is oldest
+        sensor.simulate_batch(current, np.zeros(4))
+        n = current.t.size
+        assert set(sensor._batch_scratch) == {(2, n), (4, n)}

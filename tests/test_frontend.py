@@ -80,3 +80,47 @@ class TestNoiseInjection:
         a = AnalogFrontEnd(config).measure_channel(sensor, "x", 10.0, grid)
         b = AnalogFrontEnd(config).measure_channel(sensor, "x", 10.0, grid)
         assert a.duty_cycle == b.duty_cycle
+
+
+class TestDefaultIsolation:
+    """Regression: config defaults must not alias shared mutable instances.
+
+    ``FrontEndConfig()`` used to share one ``ExcitationSettings`` (and one
+    detector parameter set) across every instance, and ``AnalogFrontEnd``'s
+    signature default shared one ``FrontEndConfig`` across every front end —
+    so mutating one front end's excitation leaked into all others.
+    """
+
+    def test_front_end_configs_are_independent(self):
+        a, b = FrontEndConfig(), FrontEndConfig()
+        assert a.excitation is not b.excitation
+        assert a.detector is not b.detector
+        assert a.excitation.oscillator is not b.excitation.oscillator
+        assert a.excitation.converter is not b.excitation.converter
+
+    def test_default_front_ends_are_independent(self):
+        a, b = AnalogFrontEnd(), AnalogFrontEnd()
+        assert a.config is not b.config
+        assert a.excitation is not b.excitation
+        # Mutable per-instance state must not leak between front ends.
+        a.disable()
+        assert b.enabled
+
+    def test_default_compasses_are_independent(self):
+        from repro.core.compass import CompassConfig, IntegratedCompass
+
+        a, b = CompassConfig(), CompassConfig()
+        assert a.front_end is not b.front_end
+        assert a.schedule is not b.schedule
+        assert a.counter is not b.counter
+        assert a.health is not b.health
+        assert a.observe is not b.observe
+        ca, cb = IntegratedCompass(), IntegratedCompass()
+        assert ca.config is not cb.config
+        assert ca.front_end is not cb.front_end
+
+    def test_default_detectors_are_independent(self):
+        from repro.analog.pulse_detector import PulsePositionDetector
+
+        a, b = PulsePositionDetector(), PulsePositionDetector()
+        assert a.params is not b.params

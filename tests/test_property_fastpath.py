@@ -1,0 +1,90 @@
+"""Property-based equivalence: fastpath-enabled compass ≡ stepped compass.
+
+Hypothesis draws headings, field magnitudes and comparator imperfections
+(threshold, hysteresis, propagation delay, static offset) and asserts
+that enabling the fast path never changes the measurement: either the
+closed form is used and agrees within the sub-tick timing tolerance of
+:mod:`repro.replay.diff`, or the front end silently falls back to the
+stepped engine and the results are bit-identical by construction.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analog import fastpath
+from repro.analog.frontend import AnalogFrontEnd, FrontEndConfig
+from repro.analog.pulse_detector import DetectorParameters
+from repro.core.compass import CompassConfig, IntegratedCompass
+from repro.replay import LogRecorder, attach_recorder
+from repro.replay.diff import TimingTolerance, diff_records
+from repro.sensors.fluxgate import FluxgateSensor
+from repro.sensors.parameters import IDEAL_TARGET
+from repro.simulation.engine import TimeGrid
+
+headings = st.floats(min_value=0.0, max_value=360.0,
+                     allow_nan=False, allow_infinity=False)
+# The paper's worldwide horizontal-field range, §1.
+fields_ut = st.sampled_from([25.0, 50.0, 65.0])
+thresholds = st.floats(min_value=0.08, max_value=0.14)
+hysteresis_values = st.floats(min_value=0.02, max_value=0.05)
+delays = st.floats(min_value=0.0, max_value=120e-9)
+offsets = st.floats(min_value=-0.006, max_value=0.006)
+
+
+def detector_strategy():
+    return st.builds(
+        DetectorParameters,
+        threshold=thresholds,
+        hysteresis=hysteresis_values,
+        comparator_delay=delays,
+        offset=offsets,
+    )
+
+
+class TestCompassEquivalenceProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(heading=headings, field_ut=fields_ut, detector=detector_strategy())
+    def test_fastpath_record_diffs_clean(self, heading, field_ut, detector):
+        stepped = IntegratedCompass(CompassConfig(
+            front_end=FrontEndConfig(detector=detector)
+        ))
+        fast = IntegratedCompass(CompassConfig(
+            front_end=FrontEndConfig(detector=detector, fastpath=True)
+        ))
+        rec_stepped = attach_recorder(stepped, LogRecorder())
+        rec_fast = attach_recorder(fast, LogRecorder())
+        stepped.measure_heading(heading, field_ut * 1e-6)
+        fast.measure_heading(heading, field_ut * 1e-6)
+        timing = TimingTolerance.sub_tick(rec_stepped.header)
+        result = diff_records(
+            "scalar", rec_stepped.records,
+            "fastpath", rec_fast.records,
+            timing=timing,
+        )
+        assert result.clean, result.divergences[0].describe()
+
+
+class TestSolverEdgeProperty:
+    GRID = TimeGrid(n_periods=9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        h_external=st.floats(min_value=-52.0, max_value=52.0),
+        detector=detector_strategy(),
+    )
+    def test_edges_within_one_tick_whenever_solver_accepts(
+        self, h_external, detector
+    ):
+        fe = AnalogFrontEnd(FrontEndConfig(detector=detector))
+        sensor = FluxgateSensor(IDEAL_TARGET)
+        fast = fastpath.solve_channel(fe, sensor, "x", h_external, self.GRID)
+        if fast is None:
+            return  # outside the drawn envelope: the fallback seam applies
+        stepped = fe.measure_channel(
+            sensor, "x", h_external, self.GRID
+        ).detector_output
+        assert [e.value for e in fast.edges] == [e.value for e in stepped.edges]
+        worst = max(
+            abs(a.time - b.time) for a, b in zip(fast.edges, stepped.edges)
+        )
+        assert worst < self.GRID.dt
