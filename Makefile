@@ -1,6 +1,6 @@
 # Convenience targets for the compass reproduction.
 
-.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak replay fastpath all
+.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak fleet replay fastpath all
 
 install:
 	pip install -e . || python setup.py develop
@@ -56,6 +56,14 @@ serve-sim:
 # rises above zero or availability misses the floor.
 soak:
 	PYTHONPATH=src python -m repro soak --requests 100 --json BENCH_service.json
+
+# Fleet storm: deterministic chaos + RPS ramp past saturation against
+# the sharded heading fleet; exits 17 if any SLO gate breaks, then
+# regenerates BENCH_fleet.json via the fleet benchmark.
+fleet:
+	PYTHONPATH=src python -m repro fleet-soak \
+		--json fleet-soak-report.json --metrics fleet-metrics.json
+	PYTHONPATH=src pytest benchmarks/bench_fleet.py --benchmark-only -s
 
 # Record a seeded sweep, replay it bit-exactly, then diff it through
 # the scalar, batch and instrumented paths; exit 15 on silent-wrong.

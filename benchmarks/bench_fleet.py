@@ -1,0 +1,142 @@
+"""FLEET1 — overload-survival record of the sharded heading fleet.
+
+The standing record of the PR's fleet claim: a 4-shard
+:class:`~repro.fleet.HeadingFleet` under the default deterministic
+storm — chaos on a minority of replicas per shard plus an RPS ramp to
+4x rated load — keeps **silent-wrong at zero at every load level**,
+availability >= 99% at and below rated load, sheds *typed* overload
+past saturation, and holds admitted-request p99 inside the 300 ms SLO
+throughout.  Alongside the storm, a cache-economics probe reports the
+sustained throughput the scene cache and coalescing buy over brute
+re-measurement.  The full record lands in ``BENCH_fleet.json`` at the
+repo root (also uploaded by the ``fleet-soak`` CI job).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+from repro.fleet import (
+    FleetConfig,
+    FleetSoak,
+    FleetSoakConfig,
+    HeadingFleet,
+    Kernel,
+    LoadPhase,
+    OpenLoopGenerator,
+)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+SOAK_SEED = 0
+
+#: Cache-economics probe: one rated-load minute-equivalent burst with
+#: the scene cache on vs off, same seed and schedule.
+PROBE_RPS = 300.0
+PROBE_DURATION_S = 2.0
+
+
+def run_storm():
+    config = FleetSoakConfig(seed=SOAK_SEED)
+    t0 = time.perf_counter()
+    report = FleetSoak(config).run()
+    elapsed = time.perf_counter() - t0
+    return config, report, elapsed
+
+
+def _drive(cache_enabled: bool):
+    kernel = Kernel()
+    fleet = HeadingFleet(
+        FleetConfig(seed=SOAK_SEED, cache_enabled=cache_enabled),
+        scheduler=kernel,
+    )
+    generator = OpenLoopGenerator(
+        fleet,
+        [LoadPhase(rps=PROBE_RPS, duration_s=PROBE_DURATION_S, label="probe")],
+        seed=SOAK_SEED,
+    )
+
+    async def main():
+        fleet.start()
+        records = await generator.run()
+        await fleet.stop()
+        return records
+
+    t0 = time.perf_counter()
+    [record] = kernel.run(main())
+    wall = time.perf_counter() - t0
+    return record, fleet.stats(), wall
+
+
+def test_fleet1_overload_survival_record(benchmark):
+    config, report, storm_wall = benchmark.pedantic(
+        run_storm, rounds=1, iterations=1
+    )
+
+    cached, cached_stats, cached_wall = _drive(cache_enabled=True)
+    uncached, uncached_stats, uncached_wall = _drive(cache_enabled=False)
+
+    record = report.to_dict()
+    record["cache_economics"] = {
+        "rps": PROBE_RPS,
+        "duration_s": PROBE_DURATION_S,
+        "cached": {
+            "served": cached.served,
+            "shed_total": cached.shed_total,
+            "backend_measurements": sum(
+                s["served"] for s in cached_stats["shards"]
+            ),
+            "hit_rate": cached_stats["cache"]["hit_rate"],
+            "p99_ms": round(cached.latency_percentile(99) * 1e3, 4),
+            "wall_s": round(cached_wall, 4),
+        },
+        "uncached": {
+            "served": uncached.served,
+            "shed_total": uncached.shed_total,
+            "backend_measurements": sum(
+                s["served"] for s in uncached_stats["shards"]
+            ),
+            "p99_ms": round(uncached.latency_percentile(99) * 1e3, 4),
+            "wall_s": round(uncached_wall, 4),
+        },
+    }
+    RESULT_PATH.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    lines = report.summary().split("\n")
+    total_offered = sum(p["offered"] for p in report.phases)
+    lines.append(
+        f"storm: {total_offered} requests over "
+        f"{report.elapsed_sim_s:.1f}s simulated in {storm_wall:.2f}s wall; "
+        f"chaos armed {sum(report.faults_armed.values())} faults"
+    )
+    saved = (
+        record["cache_economics"]["uncached"]["backend_measurements"]
+        - record["cache_economics"]["cached"]["backend_measurements"]
+    )
+    lines.append(
+        f"cache economics at {PROBE_RPS:g} rps: hit rate "
+        f"{cached_stats['cache']['hit_rate']:.3f} saves {saved} backend "
+        f"measurements vs uncached "
+        f"({cached.served}/{uncached.served} served)"
+    )
+    emit("FLEET1 fleet overload survival", lines)
+
+    # The same four gates the CLI exits 17 on.
+    assert report.invariants_ok(), report.violations()
+    for phase in report.phases:
+        assert phase["silent_wrong"] == 0
+        if phase["multiplier"] <= 1.0:
+            assert (
+                phase["availability"]
+                >= config.fleet.slo.availability_floor
+            )
+    overload = [p for p in report.phases if p["multiplier"] >= 2.0]
+    assert overload and all(p["shed_total"] > 0 for p in overload)
+    # The cache must actually pay: fewer backend measurements, not more.
+    assert (
+        record["cache_economics"]["cached"]["backend_measurements"]
+        < record["cache_economics"]["uncached"]["backend_measurements"]
+    )

@@ -38,6 +38,20 @@ def test_svc1_chaos_soak_record(benchmark):
 
     lines = report.summary().split("\n")
     lines.append(
+        "per-verdict: "
+        + ", ".join(
+            f"{verdict}={count}"
+            for verdict, count in sorted(report.verdicts.items())
+        )
+    )
+    lines.append(
+        f"latency p50/p99/p999 = "
+        f"{report.latency_percentile(50.0) * 1e3:.2f} / "
+        f"{report.latency_percentile(99.0) * 1e3:.2f} / "
+        f"{report.latency_percentile(99.9) * 1e3:.2f} ms simulated "
+        f"(directly comparable to BENCH_fleet.json phase percentiles)"
+    )
+    lines.append(
         f"{report.requests} requests in {elapsed:.2f}s wall "
         f"({report.sim_elapsed_s * 1e3:.1f} ms simulated)"
     )
@@ -49,3 +63,5 @@ def test_svc1_chaos_soak_record(benchmark):
     assert report.invariants_ok(
         config.availability_floor, config.tolerance_deg
     )
+    record = report.to_dict()
+    assert "latency_p999_ms" in record and "verdicts" in record

@@ -14,6 +14,8 @@ The package mirrors the paper's system decomposition:
 * :mod:`repro.btest` — IEEE 1149.1 boundary-scan test structures [Oli96],
 * :mod:`repro.faults` — fault injection, chaos soak and health campaigns,
 * :mod:`repro.service` — the resilient replicated heading service,
+* :mod:`repro.fleet` — the async sharded heading fleet (admission
+  control, load shedding, brownout, deterministic overload soak),
 * :mod:`repro.simulation` — the mixed-signal simulation engine (§5).
 
 Quickstart::
@@ -27,6 +29,7 @@ Quickstart::
 from .core.compass import CompassConfig, IntegratedCompass
 from .core.heading import HeadingMeasurement, compass_point
 from .core.health import HealthConfig, HealthReport
+from .fleet import FleetConfig, FleetResponse, HeadingFleet
 from .observe import Observability
 from .service import HeadingService, ServiceConfig, ServiceVerdict
 from .errors import (
@@ -36,11 +39,13 @@ from .errors import (
     ConfigurationError,
     DegradedOperationError,
     FaultError,
+    OverloadError,
     ProtocolError,
     QuorumError,
     ReproError,
     ResourceError,
     ServiceError,
+    SLOViolationError,
 )
 
 __version__ = "1.0.0"
@@ -53,16 +58,21 @@ __all__ = [
     "ConfigurationError",
     "DegradedOperationError",
     "FaultError",
+    "FleetConfig",
+    "FleetResponse",
+    "HeadingFleet",
     "HeadingMeasurement",
     "HeadingService",
     "HealthConfig",
     "HealthReport",
     "IntegratedCompass",
     "Observability",
+    "OverloadError",
     "ProtocolError",
     "QuorumError",
     "ReproError",
     "ResourceError",
+    "SLOViolationError",
     "ServiceConfig",
     "ServiceError",
     "ServiceVerdict",

@@ -14,6 +14,12 @@ Gives the library a bench-top feel without writing code:
   a fault armed on one replica, and watch verdicts/breakers live,
 * ``soak`` — the seeded chaos soak against the service
   (``repro.faults.chaos``), exiting nonzero if an invariant breaks,
+* ``fleet-sim`` — drive the sharded heading fleet with open-loop
+  Poisson load on the virtual-time kernel and report shedding,
+  cache/coalesce rates and tail latency (``repro.fleet``),
+* ``fleet-soak`` — the deterministic fleet storm (chaos + RPS ramp past
+  saturation); exits 17 (``SLOViolationError``) when an SLO gate
+  breaks,
 * ``record`` — run a seeded heading sweep with the replay recorder armed
   and write a self-checking ``.rplog`` capture (``repro.replay``),
 * ``replay`` — re-execute a recorded log bit-exactly (digital back-end
@@ -48,12 +54,14 @@ from .errors import (
     DegradedOperationError,
     DivergenceError,
     FaultError,
+    OverloadError,
     ProtocolError,
     QuorumError,
     ReplayError,
     ReproError,
     ResourceError,
     ServiceError,
+    SLOViolationError,
 )
 from .faults.campaign import DEFAULT_HEADINGS as DEFAULT_CAMPAIGN_HEADINGS
 from .soc.mcm import build_compass_mcm
@@ -77,6 +85,8 @@ EXIT_CODES = {
     ServiceError: 11,
     DivergenceError: 15,
     ReplayError: 14,
+    OverloadError: 16,
+    SLOViolationError: 17,
 }
 
 
@@ -348,6 +358,119 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_fleet_sim(args: argparse.Namespace) -> int:
+    from .fleet import (
+        FleetConfig,
+        HeadingFleet,
+        Kernel,
+        LoadPhase,
+        OpenLoopGenerator,
+    )
+
+    config = FleetConfig(shards=args.shards, seed=args.seed)
+    kernel = Kernel()
+    fleet = HeadingFleet(config, scheduler=kernel)
+    generator = OpenLoopGenerator(
+        fleet,
+        [LoadPhase(rps=args.rps, duration_s=args.duration, label="drive")],
+        seed=args.seed,
+        hot_fraction=args.hot,
+    )
+
+    async def drive():
+        fleet.start()
+        records = await generator.run()
+        await fleet.stop()
+        return records
+
+    [record] = kernel.run(drive())
+    stats = fleet.stats()
+    print(
+        f"offered {record.offered} at {args.rps:g} rps over "
+        f"{args.duration:g}s simulated ({args.shards} shards, "
+        f"seed {args.seed})"
+    )
+    print(
+        f"served {record.served} (availability {record.availability:.4f}), "
+        f"shed {record.shed_total}, failed {record.failed_total}"
+    )
+    if record.shed:
+        print("  shed by reason:", ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(record.shed.items())
+        ))
+    print("  sources:", ", ".join(
+        f"{source}={count}"
+        for source, count in sorted(record.sources.items())
+    ) or "none")
+    print("  verdicts:", ", ".join(
+        f"{verdict}={count}"
+        for verdict, count in sorted(record.verdicts.items())
+    ) or "none")
+    print(
+        f"  latency p50/p99/p999: "
+        f"{record.latency_percentile(50) * 1e3:.2f} / "
+        f"{record.latency_percentile(99) * 1e3:.2f} / "
+        f"{record.latency_percentile(99.9) * 1e3:.2f} ms"
+    )
+    cache = stats["cache"]
+    if cache is not None:
+        print(
+            f"  cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"(hit rate {cache['hit_rate']:.3f})"
+        )
+    print(f"  brownout level {stats['brownout_level']}, "
+          f"{len(stats['brownout_transitions'])} transitions")
+    for shard in stats["shards"]:
+        print(
+            f"  {shard['name']}: served {shard['served']}, "
+            f"peak queue {shard['queue_peak_depth']}, "
+            f"est service {shard['est_service_ms']:.2f} ms"
+        )
+    return 0
+
+
+def _cmd_fleet_soak(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .fleet import FleetConfig, FleetSoak, FleetSoakConfig
+    from .observe import Observability
+
+    fleet_config = FleetConfig(
+        shards=args.shards,
+        seed=args.seed,
+        observe=Observability.on(tracing=False),
+    )
+    overrides = {}
+    if args.phase:
+        phases = []
+        for spec in args.phase:
+            multiplier, _, duration = spec.partition(":")
+            phases.append((float(multiplier), float(duration)))
+        overrides["phases"] = tuple(phases)
+    config = FleetSoakConfig(
+        fleet=fleet_config,
+        rated_rps=args.rated,
+        seed=args.seed,
+        chaos=not args.no_chaos,
+        **overrides,
+    )
+    report = FleetSoak(config).run()
+    print(report.summary())
+    if args.json:
+        report.write_json(args.json)
+        print(f"wrote {args.json}")
+    if args.metrics and report.metrics_snapshot is not None:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            _json.dump(report.metrics_snapshot, handle, indent=2,
+                       sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.metrics}")
+    report.raise_for_slo()  # SLOViolationError -> exit 17
+    print("RESULT: PASS")
+    return 0
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     from .core.compass import CompassConfig
     from .core.heading import headings_evenly_spaced
@@ -579,6 +702,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the soak report as JSON")
     p.set_defaults(func=_cmd_soak)
+
+    p = sub.add_parser(
+        "fleet-sim",
+        help="drive the sharded heading fleet with open-loop load",
+    )
+    p.add_argument("--rps", type=float, default=300.0,
+                   help="offered load in requests/s (default 300)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="simulated drive duration in seconds (default 2)")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--hot", type=float, default=0.5,
+                   help="fraction of requests revisiting hot scenes "
+                        "(default 0.5)")
+    p.set_defaults(func=_cmd_fleet_sim)
+
+    p = sub.add_parser(
+        "fleet-soak",
+        help="deterministic fleet storm: chaos + RPS ramp past saturation",
+    )
+    p.add_argument("--rated", type=float, default=300.0,
+                   help="rated load in requests/s (default 300)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--phase", action="append", metavar="MULT:SECONDS",
+                   help="override the load schedule, e.g. --phase 1:4 "
+                        "--phase 4:2 (repeatable; multiples of --rated)")
+    p.add_argument("--no-chaos", action="store_true",
+                   help="disable the fault/latency storm")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the soak report as JSON")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write the fleet metrics snapshot as JSON")
+    p.set_defaults(func=_cmd_fleet_soak)
 
     p = sub.add_parser(
         "record",

@@ -113,3 +113,39 @@ class QuorumError(ServiceError):
     vote-eligible headings were collected, or the collected headings
     disagreed so thoroughly that no K-of-N inlier set exists.
     """
+
+
+class OverloadError(ServiceError):
+    """The fleet shed this request instead of queueing it unboundedly.
+
+    Raised by :mod:`repro.fleet` admission control when accepting the
+    request would only make things worse: the token bucket is dry
+    (``reason="rate-limit"``), the shard queue is full even after
+    evicting dead work (``reason="queue-full"``), or the request can no
+    longer meet its deadline and serving it would be dead work
+    (``reason="deadline"``).  Load shedding is *loud by design* — a
+    request the fleet cannot serve within its SLO is refused up front,
+    never silently queued into a latency it would have rejected.
+    """
+
+    def __init__(self, message: str, reason: str = "overload"):
+        super().__init__(message)
+        #: Which rung of the admission ladder shed the request:
+        #: ``rate-limit`` | ``queue-full`` | ``deadline``.
+        self.reason = reason
+
+
+class SLOViolationError(ServiceError):
+    """A fleet soak finished with a service-level objective broken.
+
+    Raised by the ``fleet-soak`` CLI verb (exit code 17) when the
+    deterministic storm ramp ends with an invariant violated:
+    availability below the floor at rated load, any silent-wrong
+    response at any load level, a missing overload shed past
+    saturation, or admitted-request p99 latency beyond the SLO.  The
+    report that failed is attached as :attr:`report` when available.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

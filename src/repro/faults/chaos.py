@@ -135,6 +135,7 @@ class SoakReport:
     verdicts: Dict[str, int] = field(default_factory=dict)
     failure_types: Dict[str, int] = field(default_factory=dict)
     attempt_counts: List[int] = field(default_factory=list)
+    latencies_s: List[float] = field(default_factory=list)
     events: List[SoakEvent] = field(default_factory=list)
     faults_armed: Dict[str, int] = field(default_factory=dict)
     breaker_transitions: int = 0
@@ -150,6 +151,13 @@ class SoakReport:
         if not self.attempt_counts:
             return 0.0
         return float(np.percentile(np.array(self.attempt_counts), q))
+
+    def latency_percentile(self, q: float) -> float:
+        """Simulated-clock request latency percentile [s] over served
+        requests; p999 is ``q=99.9``."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.array(self.latencies_s), q))
 
     def invariants_ok(
         self,
@@ -177,6 +185,9 @@ class SoakReport:
             "failure_types": dict(sorted(self.failure_types.items())),
             "attempts_p50": self.attempts_percentile(50.0),
             "attempts_p99": self.attempts_percentile(99.0),
+            "latency_p50_ms": round(self.latency_percentile(50.0) * 1e3, 4),
+            "latency_p99_ms": round(self.latency_percentile(99.0) * 1e3, 4),
+            "latency_p999_ms": round(self.latency_percentile(99.9) * 1e3, 4),
             "faults_armed": dict(sorted(self.faults_armed.items())),
             "chaos_events": len(self.events),
             "breaker_transitions": self.breaker_transitions,
@@ -206,6 +217,9 @@ class SoakReport:
             ),
             f"attempts p50={self.attempts_percentile(50.0):.0f} "
             f"p99={self.attempts_percentile(99.0):.0f}; "
+            f"latency p50={self.latency_percentile(50.0) * 1e3:.1f} "
+            f"p99={self.latency_percentile(99.0) * 1e3:.1f} "
+            f"p999={self.latency_percentile(99.9) * 1e3:.1f} ms",
             f"{len(self.events)} chaos events, "
             f"{self.breaker_transitions} breaker transitions",
         ]
@@ -371,6 +385,7 @@ class ChaosSoak:
             1 for a in response.attempts if a.outcome != "breaker-open"
         )
         report.attempt_counts.append(real_attempts)
+        report.latencies_s.append(response.elapsed_s)
         error = heading_error_deg(response.heading_deg, truth)
         report.worst_error_deg = max(report.worst_error_deg, error)
         if error > cfg.tolerance_deg:

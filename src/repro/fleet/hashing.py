@@ -1,0 +1,67 @@
+"""Consistent hashing: device/scene keys onto shard workers.
+
+The fleet shards requests so that one device (or one quantized scene —
+see :mod:`repro.fleet.cache`) always lands on the same worker: its
+measurements coalesce, its cache entries stay hot, and a chaos fault on
+one shard touches a stable, bounded slice of the keyspace.  A plain
+``hash(key) % shards`` would remap almost every key when the shard
+count changes; the classic fix is a **hash ring** with virtual nodes —
+each shard owns ``vnodes`` pseudo-random points on a 64-bit circle and
+a key belongs to the first shard point at or after its own hash.
+Resizing then only moves the keys between neighbouring points.
+
+Hashes come from :mod:`hashlib` (BLAKE2b), not Python's seeded
+``hash()``, so the placement is identical across processes and runs —
+a requirement for the deterministic soak, whose whole report depends on
+which shard every request hits.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+def stable_hash(key: str) -> int:
+    """64-bit process-independent hash of a text key."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Maps string keys to shard indices via consistent hashing."""
+
+    def __init__(self, shards: int, vnodes: int = 64):
+        if shards < 1:
+            raise ConfigurationError("hash ring needs at least one shard")
+        if vnodes < 1:
+            raise ConfigurationError("hash ring needs at least one vnode")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                points.append((stable_hash(f"shard-{shard}#{vnode}"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [s for _, s in points]
+
+    def lookup(self, key: str) -> int:
+        """The shard index owning ``key``."""
+        index = bisect.bisect_right(self._hashes, stable_hash(key))
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+    def spread(self, keys: Sequence[str]) -> List[int]:
+        """Shard populations for a key sample (diagnostics/tests)."""
+        counts = [0] * self.shards
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts
+
+
+__all__ = ["HashRing", "stable_hash"]

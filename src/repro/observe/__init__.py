@@ -47,6 +47,13 @@ from .config import (
     M_CAMPAIGN_ERROR,
     M_COUNTER_TICKS,
     M_FIELD,
+    M_FLEET_BROWNOUT,
+    M_FLEET_BROWNOUT_SHIFTS,
+    M_FLEET_COALESCE,
+    M_FLEET_LATENCY,
+    M_FLEET_QUEUE_DEPTH,
+    M_FLEET_REQUESTS,
+    M_FLEET_SHED,
     M_HEADING,
     M_HEALTH_CHECKS,
     M_HEALTH_FALLBACKS,
@@ -103,6 +110,13 @@ __all__ = [
     "M_CAMPAIGN_ERROR",
     "M_COUNTER_TICKS",
     "M_FIELD",
+    "M_FLEET_BROWNOUT",
+    "M_FLEET_BROWNOUT_SHIFTS",
+    "M_FLEET_COALESCE",
+    "M_FLEET_LATENCY",
+    "M_FLEET_QUEUE_DEPTH",
+    "M_FLEET_REQUESTS",
+    "M_FLEET_SHED",
     "M_HEADING",
     "M_HEALTH_CHECKS",
     "M_HEALTH_FALLBACKS",

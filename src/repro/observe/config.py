@@ -47,6 +47,13 @@ M_SERVICE_LATENCY = "service_request_latency_s"    # {} histogram
 M_VOTE_DISSENT = "service_vote_dissent_deg"        # {} histogram
 M_BREAKER_TRANSITIONS = "breaker_transitions_total"  # {replica, to}
 M_BREAKER_STATE = "breaker_state"                  # {replica} gauge
+M_FLEET_REQUESTS = "fleet_requests_total"          # {outcome}
+M_FLEET_SHED = "fleet_shed_total"                  # {reason}
+M_FLEET_COALESCE = "fleet_coalesce_total"          # {event: leader|follower|cache-hit|cache-miss}
+M_FLEET_QUEUE_DEPTH = "fleet_queue_depth"          # {shard} gauge
+M_FLEET_LATENCY = "fleet_request_latency_s"        # {source} histogram
+M_FLEET_BROWNOUT = "fleet_brownout_level"          # {} gauge
+M_FLEET_BROWNOUT_SHIFTS = "fleet_brownout_transitions_total"  # {to}
 
 #: Heading histogram buckets: the eight compass octants.
 HEADING_BUCKETS = (45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0, 360.0)
@@ -204,6 +211,13 @@ __all__ = [
     "M_CAMPAIGN_ERROR",
     "M_COUNTER_TICKS",
     "M_FIELD",
+    "M_FLEET_BROWNOUT",
+    "M_FLEET_BROWNOUT_SHIFTS",
+    "M_FLEET_COALESCE",
+    "M_FLEET_LATENCY",
+    "M_FLEET_QUEUE_DEPTH",
+    "M_FLEET_REQUESTS",
+    "M_FLEET_SHED",
     "M_HEADING",
     "M_HEALTH_CHECKS",
     "M_HEALTH_FALLBACKS",

@@ -49,6 +49,8 @@ STAGE_CORDIC = "cordic"
 STAGE_CORDIC_ITER = "cordic.iter"  # cordic.iter.0 … cordic.iter.N-1
 STAGE_REQUEST = "service.request"  # one HeadingService request
 STAGE_ATTEMPT = "service.attempt"  # service.attempt.<replica>.<n>
+STAGE_FLEET_REQUEST = "fleet.request"    # one fleet front-door request
+STAGE_FLEET_DISPATCH = "fleet.dispatch"  # fleet.dispatch.<shard>
 
 AttributeValue = Union[str, int, float, bool, None]
 

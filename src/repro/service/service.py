@@ -294,8 +294,20 @@ class HeadingService:
         self,
         true_heading_deg: float,
         field_magnitude_t: float = 50.0e-6,
+        *,
+        max_replicas: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> ServiceResponse:
         """Serve one heading request through the replica pool.
+
+        ``max_replicas`` consults only the first ``max_replicas``
+        replicas (clamped to ``quorum..N``) — the fleet's brownout
+        ladder uses it to step the vote pool down from N toward K under
+        sustained overload.  A stepped-down request can never come back
+        ``AUTHORITATIVE``: the clean-sweep test requires every replica
+        in the pool, so shedding confirmation replicas always shows up
+        in the verdict.  ``deadline_s`` overrides the configured
+        per-request deadline for this request only.
 
         Raises :class:`~repro.errors.CircuitOpenError` when every
         breaker refuses the request outright, and
@@ -304,9 +316,17 @@ class HeadingService:
         headings.
         """
         cfg = self.config
+        if max_replicas is None:
+            pool = self.replicas
+        else:
+            limit = max(cfg.quorum, min(max_replicas, len(self.replicas)))
+            pool = self.replicas[:limit]
+        budget = cfg.deadline_s if deadline_s is None else deadline_s
+        if budget <= 0.0:
+            raise ConfigurationError("request deadline must be positive")
         start = self.clock.now()
-        deadline = start + cfg.deadline_s
-        state = {replica.name: _Collected() for replica in self.replicas}
+        deadline = start + budget
+        state = {replica.name: _Collected() for replica in pool}
         attempts: List[AttemptRecord] = []
         breaker_refusals = 0
 
@@ -317,6 +337,7 @@ class HeadingService:
                 response = self._drive_request(
                     true_heading_deg,
                     field_magnitude_t,
+                    pool,
                     state,
                     attempts,
                     deadline,
@@ -345,6 +366,7 @@ class HeadingService:
         self,
         true_heading_deg: float,
         field_magnitude_t: float,
+        pool: List[CompassReplica],
         state: Dict[str, _Collected],
         attempts: List[AttemptRecord],
         deadline: float,
@@ -359,7 +381,7 @@ class HeadingService:
         while True:
             pending = [
                 r
-                for r in self.replicas
+                for r in pool
                 if state[r.name].healthy is None
                 and not state[r.name].exhausted
             ]
@@ -406,26 +428,26 @@ class HeadingService:
                     slot.exhausted = True
             if not made_attempt:
                 if refused_this_round == len(pending) and all(
-                    state[r.name].healthy is None for r in self.replicas
+                    state[r.name].healthy is None for r in pool
                 ):
                     # Nothing answered yet and every live breaker is
                     # open: sleeping until a cool-down expires is the
                     # only move left.
-                    self._await_half_open(deadline)
+                    self._await_half_open(pool, deadline)
                     if self.clock.now() >= deadline:
                         break
                 else:
                     break
             elif any(
                 state[r.name].healthy is None and not state[r.name].exhausted
-                for r in self.replicas
+                for r in pool
             ):
                 # At least one replica still owes a retry: back off
                 # before the next round so a transient fault gets air.
                 delay = backoff.next_delay()
                 self.clock.sleep(min(delay, max(0.0, deadline - self.clock.now())))
 
-        return self._conclude(state, attempts, start)
+        return self._conclude(pool, state, attempts, start)
 
     def _attempt(
         self,
@@ -491,11 +513,13 @@ class HeadingService:
         attempts.append(record)
         self._count_attempt(record)
 
-    def _await_half_open(self, deadline: float) -> None:
+    def _await_half_open(
+        self, pool: List[CompassReplica], deadline: float
+    ) -> None:
         """Sleep until the earliest breaker cool-down expiry (or deadline)."""
         expiries = [
             replica.breaker.open_until
-            for replica in self.replicas
+            for replica in pool
             if replica.breaker.state is BreakerState.OPEN
         ]
         if not expiries:
@@ -509,6 +533,7 @@ class HeadingService:
 
     def _conclude(
         self,
+        pool: List[CompassReplica],
         state: Dict[str, _Collected],
         attempts: List[AttemptRecord],
         start: float,
@@ -517,19 +542,27 @@ class HeadingService:
         real_attempts = [a for a in attempts if a.outcome != "breaker-open"]
         healthy = [
             (r.name, state[r.name].healthy)
-            for r in self.replicas
+            for r in pool
             if state[r.name].healthy is not None
         ]
         degraded = [
             (r.name, state[r.name].degraded)
-            for r in self.replicas
+            for r in pool
             if state[r.name].healthy is None
             and state[r.name].degraded is not None
         ]
         flags: List[str] = []
-        for replica in self.replicas:
+        for replica in pool:
             flags.extend(
                 f"{replica.name}: {flag}" for flag in state[replica.name].flags
+            )
+        if len(pool) < len(self.replicas):
+            # A stepped-down vote pool is visible provenance: the
+            # clean-sweep test below compares against the *full* pool,
+            # so this request can never be labelled authoritative.
+            flags.append(
+                f"quorum-stepdown: consulted {len(pool)} of "
+                f"{len(self.replicas)} replicas"
             )
 
         # Healthy headings alone when they reach quorum; health-degraded

@@ -12,11 +12,13 @@ from repro.errors import (
     DegradedOperationError,
     DivergenceError,
     FaultError,
+    OverloadError,
     ProtocolError,
     QuorumError,
     ReplayError,
     ReproError,
     ServiceError,
+    SLOViolationError,
 )
 
 
@@ -29,7 +31,8 @@ class TestParser:
         parser = build_parser()
         for command in (
             "measure", "sweep", "power", "area", "scan", "watch", "faults",
-            "trace", "metrics", "serve-sim", "soak",
+            "trace", "metrics", "serve-sim", "soak", "fleet-sim",
+            "fleet-soak",
         ):
             args = parser.parse_args([command])
             assert args.command == command
@@ -185,6 +188,10 @@ class TestTypedExitCodes:
         assert exit_code_for(ReplayError("x")) == 14
         assert exit_code_for(DivergenceError("x")) == 15
 
+    def test_fleet_error_codes(self):
+        assert exit_code_for(OverloadError("x")) == 16
+        assert exit_code_for(SLOViolationError("x")) == 17
+
     def test_weak_field_exits_with_protocol_code(self, capsys):
         # 0.001 µT is below the counter trust threshold → ProtocolError.
         assert main(["measure", "--field", "0.001"]) == 5
@@ -279,6 +286,50 @@ class TestSoakCommand:
         ])
         assert code == 1
         assert "RESULT: FAIL" in capsys.readouterr().out
+
+
+class TestFleetCommands:
+    def test_fleet_sim_drives_and_reports(self, capsys):
+        code = main([
+            "fleet-sim", "--rps", "50", "--duration", "0.5",
+            "--shards", "1", "--seed", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "offered" in out
+        assert "availability" in out
+        assert "cache:" in out
+        assert "shard-0" in out
+
+    def test_fleet_soak_passes_and_writes_artifacts(self, capsys, tmp_path):
+        report_path = tmp_path / "storm.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "fleet-soak", "--rated", "100", "--shards", "1", "--seed", "0",
+            "--phase", "1:1", "--phase", "4:1", "--no-chaos",
+            "--json", str(report_path), "--metrics", str(metrics_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RESULT: PASS" in out
+        record = json.loads(report_path.read_text())
+        assert record["invariants_ok"] is True
+        assert [p["label"] for p in record["phases"]] == ["x1", "x4"]
+        assert all(p["silent_wrong"] == 0 for p in record["phases"])
+        metrics = json.loads(metrics_path.read_text())
+        assert "fleet_requests_total" in json.dumps(metrics)
+
+    def test_fleet_soak_slo_violation_exits_17(self, capsys):
+        # 2x of a 5 rps rating is far below one shard's capacity: nothing
+        # sheds, so the "typed shedding past saturation" gate must trip.
+        code = main([
+            "fleet-soak", "--rated", "5", "--shards", "1", "--seed", "0",
+            "--phase", "2:1", "--no-chaos",
+        ])
+        assert code == 17
+        captured = capsys.readouterr()
+        assert "SLOViolationError" in captured.err
+        assert "typed shedding" in captured.err
 
 
 class TestReplayCommands:

@@ -326,6 +326,45 @@ class TestDegradedVotes:
         assert any("degraded" in flag for flag in response.flags)
 
 
+class TestQuorumStepdown:
+    def test_stepped_down_pool_is_never_authoritative(self):
+        # A perfectly clean pool, consulted at quorum strength: the
+        # heading is in spec, but dropping the confirmation replica must
+        # show in the verdict — brownout is never silent.
+        service = _service()
+        response = service.measure_heading(
+            45.0, max_replicas=service.config.quorum
+        )
+        assert response.verdict is ServiceVerdict.QUORUM_DEGRADED
+        assert any("quorum-stepdown" in flag for flag in response.flags)
+        error = abs((response.heading_deg - 45.0 + 180.0) % 360.0 - 180.0)
+        assert error <= 1.0
+
+    def test_max_replicas_is_clamped_to_quorum_and_pool_size(self):
+        service = _service()
+        floored = service.measure_heading(45.0, max_replicas=1)
+        assert any(
+            f"consulted {service.config.quorum} of" in flag
+            for flag in floored.flags
+        )
+        full = service.measure_heading(45.0, max_replicas=99)
+        assert full.verdict is ServiceVerdict.AUTHORITATIVE
+        assert not any("quorum-stepdown" in flag for flag in full.flags)
+
+    def test_per_request_deadline_override(self):
+        service = _service()
+        # The configured deadline is generous; an override below one
+        # reply latency must still time the request out.
+        with pytest.raises(QuorumError):
+            service.measure_heading(45.0, deadline_s=0.001)
+        # And the service stays healthy for a normally-budgeted request.
+        assert service.measure_heading(45.0).authoritative
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _service().measure_heading(45.0, deadline_s=0.0)
+
+
 class TestLoudFailures:
     def test_majority_hard_fault_raises_quorum_error(self):
         service = _service()
