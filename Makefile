@@ -1,6 +1,6 @@
 # Convenience targets for the compass reproduction.
 
-.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak fleet replay fastpath all
+.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak fleet factory replay fastpath all
 
 install:
 	pip install -e . || python setup.py develop
@@ -64,6 +64,15 @@ fleet:
 	PYTHONPATH=src python -m repro fleet-soak \
 		--json fleet-soak-report.json --metrics fleet-metrics.json
 	PYTHONPATH=src pytest benchmarks/bench_fleet.py --benchmark-only -s
+
+# Simulated production run: a 10k-unit lot through the staged test
+# program (exit 18 if any defective unit escapes as silent-wrong), then
+# regenerates BENCH_factory.json via the factory benchmark.
+factory:
+	PYTHONPATH=src python -m repro factory --units 10000 \
+		--json factory-lot-report.json --no-units \
+		--metrics factory-metrics.json
+	PYTHONPATH=src pytest benchmarks/bench_factory.py --benchmark-only -s
 
 # Record a seeded sweep, replay it bit-exactly, then diff it through
 # the scalar, batch and instrumented paths; exit 15 on silent-wrong.

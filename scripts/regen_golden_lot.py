@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate the golden factory lot (``tests/golden/factory_lot.json``).
+
+The golden lot is the pinned 256-unit seeded lot of
+:func:`repro.factory.golden_lot_config` run through the default staged
+test program on the batch calibration path.  Its serialised
+:class:`~repro.factory.LotReport` must be **bit-identical** across
+runs, machines, and the scalar/batch calibration paths
+(``tests/test_factory.py`` enforces all three), so this file only ever
+changes when the physics, the fault registry, or the program itself
+changes — and then the diff is the review artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_golden_lot.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.factory import FactoryLine, golden_lot_config  # noqa: E402
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "tests"
+    / "golden"
+    / "factory_lot.json"
+)
+
+
+def main() -> int:
+    config = golden_lot_config()
+    report = FactoryLine(config).run()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(report.to_json(), encoding="utf-8")
+    print(report.summary())
+    print(f"wrote {GOLDEN_PATH} ({report.wall_s:.2f} s)")
+    if report.escapes:
+        print("GOLDEN LOT HAS ESCAPES — do not commit this", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -202,6 +202,14 @@ class SubstrateHarness:
 
         Returns net → one of ``"good"``, ``"open/stuck-1"``, ``"stuck-0"``
         or ``"short with <net>"``.
+
+        Short-partner attribution only ever names a net that *itself*
+        read an anomalous code: when the wired-AND of a short equals a
+        third, healthy net's code, that healthy net is indistinguishable
+        at the pins from an aliased short partner, and a single-pass
+        diagnosis must not accuse it.  Such cases report ``"short with
+        unknown"``; :meth:`diagnose_with_complement` breaks the alias
+        and names the true pair.
         """
         codes = dict(zip(self.net_names, counting_codes(len(self.net_names))))
         width = code_width(len(self.net_names))
@@ -222,6 +230,7 @@ class SubstrateHarness:
                     for other in self.net_names
                     if other != net
                     and received[other] == got
+                    and received[other] != codes[other]
                     and (codes[other] & codes[net]) == got
                 ]
                 partner = culprits[0] if culprits else "unknown"

@@ -17,6 +17,10 @@ Gives the library a bench-top feel without writing code:
 * ``fleet-sim`` — drive the sharded heading fleet with open-loop
   Poisson load on the virtual-time kernel and report shedding,
   cache/coalesce rates and tail latency (``repro.fleet``),
+* ``factory`` — mint a seeded lot of device instances with defects
+  drawn over the fault registry, run the staged production test
+  program (boundary scan → BIST → calibration) and print the lot
+  report; exits 18 (``EscapeError``) on any test escape,
 * ``fleet-soak`` — the deterministic fleet storm (chaos + RPS ramp past
   saturation); exits 17 (``SLOViolationError``) when an SLO gate
   breaks,
@@ -53,6 +57,7 @@ from .errors import (
     ConfigurationError,
     DegradedOperationError,
     DivergenceError,
+    EscapeError,
     FaultError,
     OverloadError,
     ProtocolError,
@@ -87,6 +92,7 @@ EXIT_CODES = {
     ReplayError: 14,
     OverloadError: 16,
     SLOViolationError: 17,
+    EscapeError: 18,
 }
 
 
@@ -471,6 +477,57 @@ def _cmd_fleet_soak(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_factory(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .factory import (
+        DefectDistribution,
+        FactoryLine,
+        LotConfig,
+        defect,
+        mint_units,
+    )
+    from .observe.metrics import MetricsRegistry
+
+    config = LotConfig(
+        size=args.units,
+        seed=args.seed,
+        defects=DefectDistribution(
+            rate=args.defect_rate,
+            multi_fault_rate=args.multi,
+            severity_law=args.severity_law,
+        ),
+        stages=tuple(args.stages.split(",")),
+        calibration_path=args.path,
+    )
+    units = None
+    if args.coupon:
+        # Seeded-defect coupons: known-bad units appended to the minted
+        # lot, the classic way to audit a test program's catch claim.
+        units = mint_units(config)
+        for spec in args.coupon:
+            name, _, severity = spec.partition(":")
+            units.append(
+                (defect(name, float(severity) if severity else None),)
+            )
+    metrics = MetricsRegistry() if args.metrics else None
+    line = FactoryLine(config, metrics=metrics)
+    report = line.run(units=units)
+    print(report.summary())
+    print(f"wall clock: {report.wall_s:.2f} s for {report.size} units")
+    if args.json:
+        report.write_json(args.json, include_units=not args.no_units)
+        print(f"wrote {args.json}")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            _json.dump(metrics.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.metrics}")
+    report.raise_for_escapes()  # EscapeError -> exit 18
+    print("RESULT: PASS")
+    return 0
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     from .core.compass import CompassConfig
     from .core.heading import headings_evenly_spaced
@@ -736,6 +793,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write the fleet metrics snapshot as JSON")
     p.set_defaults(func=_cmd_fleet_soak)
+
+    p = sub.add_parser(
+        "factory",
+        help="run a seeded production lot through the staged test program",
+    )
+    p.add_argument("--units", type=int, default=1024,
+                   help="lot size (default 1024)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--defect-rate", type=float, default=0.06,
+                   help="fraction of defective units minted (default 0.06)")
+    p.add_argument("--multi", type=float, default=0.10,
+                   help="multi-fault tail probability (default 0.10)")
+    p.add_argument("--severity-law", default="uniform",
+                   choices=["uniform", "worst", "mild"],
+                   help="severity draw over each fault's grid")
+    p.add_argument("--stages", default="btest,bist,calibration",
+                   help="comma-separated test program "
+                        "(default btest,bist,calibration)")
+    p.add_argument("--path", default="batch", choices=["batch", "scalar"],
+                   help="calibration sweep engine (default batch)")
+    p.add_argument("--coupon", action="append", metavar="FAULT[:SEV]",
+                   help="append a seeded-defect coupon unit with this "
+                        "registered fault (repeatable; severity defaults "
+                        "to the fault's detector severity)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the lot report as JSON")
+    p.add_argument("--no-units", action="store_true",
+                   help="omit per-unit records from --json output")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write the factory metrics snapshot as JSON")
+    p.set_defaults(func=_cmd_factory)
 
     p = sub.add_parser(
         "record",

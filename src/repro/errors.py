@@ -64,6 +64,24 @@ class DegradedOperationError(FaultError):
     """
 
 
+class EscapeError(FaultError):
+    """A factory lot finished with test escapes — silent-wrong shipped.
+
+    Raised by :meth:`repro.factory.LotReport.raise_for_escapes` (and the
+    ``factory`` CLI verb, exit code 18) when any defective unit passed
+    the full staged test program *and* the field-audit oracle shows it
+    would serve an unflagged heading beyond the product tolerance.  An
+    escape is the one outcome the production claim forbids: a caught
+    unit costs yield, a latent unit costs margin, an escape lies to a
+    customer.  The offending :class:`~repro.factory.LotReport` is
+    attached as :attr:`report` when available.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class ReplayError(ReproError):
     """A replay log cannot be trusted or used.
 

@@ -44,6 +44,11 @@ from ..simulation.signals import Trace
 #: Outcome-class tokens a spec may expect (``"|"``-joined alternatives).
 OUTCOME_TOKENS = ("detected", "degraded", "benign")
 
+#: Factory-stage tokens a spec may claim as its expected detector
+#: (see :mod:`repro.factory`): interconnect boundary scan, power-on
+#: BIST, or the field calibration sweep.
+DETECTOR_STAGES = ("btest", "bist", "calibration")
+
 #: An injector: (target, severity) -> context manager applying the fault.
 Injector = Callable[[object, float], ContextManager[None]]
 
@@ -72,6 +77,16 @@ class FaultSpec:
     probe:
         ``"measurement"`` — inject into a compass and measure;
         ``"scan"`` — inject into a boundary-scan harness and diagnose.
+    expected_detector:
+        The factory test stage (``"btest"``, ``"bist"`` or
+        ``"calibration"``) that must catch this fault at
+        :attr:`detector_severity` — the machine-readable stage hint the
+        production line's accounting and the registry-parametrized
+        detection test key on.  Scan faults are interconnect-test
+        business; most measurement faults trip the strict supervisor at
+        power-on BIST; faults whose BIST-heading response is masked
+        (e.g. a mid-bit counter stuck-at that needs a positive count to
+        sensitise) are calibration catches.
     """
 
     name: str
@@ -81,6 +96,7 @@ class FaultSpec:
     severities: Tuple[float, ...]
     expected: Tuple[str, ...]
     probe: str = "measurement"
+    expected_detector: str = "bist"
 
     def __post_init__(self) -> None:
         if self.layer not in ("sensor", "analog", "digital", "scan"):
@@ -99,11 +115,26 @@ class FaultSpec:
                     raise ConfigurationError(
                         f"{self.name}: invalid expected outcome {token!r}"
                     )
+        if self.expected_detector not in DETECTOR_STAGES:
+            raise ConfigurationError(
+                f"{self.name}: invalid expected detector "
+                f"{self.expected_detector!r}; use one of {DETECTOR_STAGES}"
+            )
 
     def allowed_outcomes(self, severity: float) -> Tuple[str, ...]:
         """The outcome classes this spec accepts at a severity."""
         index = self.severities.index(severity)
         return tuple(self.expected[index].split("|"))
+
+    @property
+    def detector_severity(self) -> float:
+        """The severity the :attr:`expected_detector` contract holds at.
+
+        The highest registered severity: the grid is pinned with the
+        hard end of each fault last, and that is the end a factory
+        stage is required to catch.
+        """
+        return max(self.severities)
 
 
 class FaultRegistry:
@@ -496,6 +527,10 @@ REGISTRY.register(
         severity_meaning="stuck bit index",
         severities=(1.0, 12.0),
         expected=("benign", "detected|degraded|benign"),
+        # A stuck bit 12 is masked at BIST's single fixture heading when
+        # both counts are negative (the high bits are already 1 in two's
+        # complement); the full-circle calibration sweep sensitises it.
+        expected_detector="calibration",
     ),
     _inject_counter_stuck_bit,
 )
@@ -524,6 +559,7 @@ REGISTRY.register(
         severities=(0.0, 1.0),
         expected=("detected", "detected"),
         probe="scan",
+        expected_detector="btest",
     ),
     _inject_tap_tms_stuck,
 )
@@ -538,6 +574,7 @@ REGISTRY.register(
         severities=(0.0, 1.0),
         expected=("detected", "detected"),
         probe="scan",
+        expected_detector="btest",
     ),
     _inject_interconnect_stuck,
 )

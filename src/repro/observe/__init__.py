@@ -46,6 +46,8 @@ from .config import (
     M_CAMPAIGN_CELLS,
     M_CAMPAIGN_ERROR,
     M_COUNTER_TICKS,
+    M_FACTORY_STAGE,
+    M_FACTORY_UNITS,
     M_FIELD,
     M_FLEET_BROWNOUT,
     M_FLEET_BROWNOUT_SHIFTS,
@@ -109,6 +111,8 @@ __all__ = [
     "M_CAMPAIGN_CELLS",
     "M_CAMPAIGN_ERROR",
     "M_COUNTER_TICKS",
+    "M_FACTORY_STAGE",
+    "M_FACTORY_UNITS",
     "M_FIELD",
     "M_FLEET_BROWNOUT",
     "M_FLEET_BROWNOUT_SHIFTS",

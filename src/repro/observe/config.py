@@ -54,6 +54,8 @@ M_FLEET_QUEUE_DEPTH = "fleet_queue_depth"          # {shard} gauge
 M_FLEET_LATENCY = "fleet_request_latency_s"        # {source} histogram
 M_FLEET_BROWNOUT = "fleet_brownout_level"          # {} gauge
 M_FLEET_BROWNOUT_SHIFTS = "fleet_brownout_transitions_total"  # {to}
+M_FACTORY_UNITS = "factory_units_total"            # {disposition}
+M_FACTORY_STAGE = "factory_stage_outcomes_total"   # {stage, outcome}
 
 #: Heading histogram buckets: the eight compass octants.
 HEADING_BUCKETS = (45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0, 360.0)
@@ -210,6 +212,8 @@ __all__ = [
     "M_CAMPAIGN_CELLS",
     "M_CAMPAIGN_ERROR",
     "M_COUNTER_TICKS",
+    "M_FACTORY_STAGE",
+    "M_FACTORY_UNITS",
     "M_FIELD",
     "M_FLEET_BROWNOUT",
     "M_FLEET_BROWNOUT_SHIFTS",

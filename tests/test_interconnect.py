@@ -152,6 +152,87 @@ class TestComplementSequence:
         assert h.diagnose_with_complement()["x_exc_p"] == "open/stuck-1"
 
 
+class TestMultiFaultDiagnosis:
+    """Diagnosis quality under multiple simultaneous faults.
+
+    The repair-station contract: a diagnosis must name at least one net
+    that is truly faulty and must **never** accuse a clean net — a false
+    accusation sends the technician to rework a good joint.
+    """
+
+    def test_two_stuck_nets_both_named(self):
+        h = harness()
+        h.inject(InterconnectFault(FaultKind.STUCK_0, "x_exc_p"))
+        h.inject(InterconnectFault(FaultKind.OPEN, "y_pick_n"))
+        verdicts = h.diagnose()
+        assert verdicts["x_exc_p"] == "stuck-0"
+        assert verdicts["y_pick_n"] == "open/stuck-1"
+        clean = [n for n in h.net_names if n not in ("x_exc_p", "y_pick_n")]
+        assert all(verdicts[n] == "good" for n in clean)
+
+    def test_aliasing_short_never_accuses_clean_net(self):
+        # x_exc_p (code 3) wired-AND x_pick_p (code 5) reads 1 on both —
+        # exactly clean osc_timing's code.  A naive code lookup would
+        # send the technician to the oscillator net; the diagnosis must
+        # blame only nets whose own read is anomalous.
+        h = harness()
+        h.inject(
+            InterconnectFault(FaultKind.SHORT, "x_exc_p", other_net="x_pick_p")
+        )
+        verdicts = h.diagnose()
+        assert verdicts["osc_timing"] == "good"
+        assert verdicts["x_exc_p"] == "short with x_pick_p"
+        assert verdicts["x_pick_p"] == "short with x_exc_p"
+        assert not any("osc_timing" in v for v in verdicts.values())
+
+    def test_subset_alias_reports_unknown_not_a_guess(self):
+        # x_exc_n (code 2) & y_exc_n (code 6) = 2: the subset partner
+        # reads its own code and hides; the visible partner must say
+        # "unknown" rather than accuse whichever net happens to match.
+        h = harness()
+        h.inject(
+            InterconnectFault(FaultKind.SHORT, "x_exc_n", other_net="y_exc_n")
+        )
+        plain = h.diagnose()
+        assert plain["x_exc_n"] == "good"  # the documented aliasing
+        assert plain["y_exc_n"] == "short with unknown"
+        improved = h.diagnose_with_complement()
+        assert improved["x_exc_n"] == "short with y_exc_n"
+        assert improved["y_exc_n"] == "short with x_exc_n"
+
+    def test_no_pairwise_short_ever_accuses_a_clean_net(self):
+        h0 = harness()
+        nets = h0.net_names
+        for i, a in enumerate(nets):
+            for b in nets[i + 1:]:
+                h = harness()
+                h.inject(InterconnectFault(FaultKind.SHORT, a, other_net=b))
+                verdicts = h.diagnose()
+                flagged = [n for n, v in verdicts.items() if v != "good"]
+                assert flagged, f"short {a}+{b} undetected"
+                assert set(flagged) <= {a, b}
+                for v in verdicts.values():
+                    if v.startswith("short with "):
+                        partner = v[len("short with "):]
+                        assert partner in (a, b, "unknown")
+
+    def test_short_plus_stuck_complement_diagnosis(self):
+        h = harness()
+        h.inject(
+            InterconnectFault(FaultKind.SHORT, "y_exc_n", other_net="y_exc_p")
+        )
+        h.inject(InterconnectFault(FaultKind.STUCK_0, "osc_timing"))
+        verdicts = h.diagnose_with_complement()
+        assert verdicts["osc_timing"] == "stuck-0"
+        assert verdicts["y_exc_n"] == "short with y_exc_p"
+        assert verdicts["y_exc_p"] == "short with y_exc_n"
+        clean = [
+            n for n in h.net_names
+            if n not in ("osc_timing", "y_exc_n", "y_exc_p")
+        ]
+        assert all(verdicts[n] == "good" for n in clean)
+
+
 class TestCoverage:
     def test_full_coverage_on_single_net_faults(self):
         h0 = harness()

@@ -1,0 +1,149 @@
+"""Property tests: the factory's accounting is airtight by construction.
+
+Three claims carry the production line's story:
+
+1. **A defect-free process has perfect yield.**  A lot minted at defect
+   rate 0 ships every unit: 100% yield, zero false fails, zero escapes,
+   for any lot size and seed.
+2. **The disposition partition is exact.**  Every unit lands in exactly
+   one disposition, defective units only in {caught, pass-latent,
+   escape}, clean units only in {pass, false-fail}; stage ``tested``
+   counts chain (each stage tests exactly its predecessor's survivors)
+   and per-stage catch/false-fail tallies sum into the lot partition —
+   no defect is double-counted and none vanishes.
+3. **Stage order never changes what escapes.**  Stage verdicts are
+   evaluated on a fresh target per stage, so permuting the program can
+   only move a catch between stages — the escape set, the caught set,
+   and every unit's disposition are permutation-invariant.
+
+Real-physics lots are expensive (~250 ms per distinct defect
+signature), so the suite memoizes signature evaluations *across*
+examples via :class:`MemoLine` — sound because a stage verdict is a
+function of (signature, stage knobs) alone, which is the same
+memoization :class:`~repro.factory.FactoryLine` performs within one
+run, and all examples here share the default stage knobs.
+"""
+
+import dataclasses
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.factory import (
+    DefectDistribution,
+    FactoryLine,
+    LotConfig,
+    SEVERITY_LAWS,
+    STAGE_NAMES,
+    signature,
+)
+
+
+class MemoLine(FactoryLine):
+    """A :class:`FactoryLine` with a suite-wide signature-evaluation memo."""
+
+    _memo = {}
+
+    def _evaluate_signature(self, defects, record_logs):
+        key = (tuple(sorted(self.config.stages)), signature(defects))
+        if key not in self._memo:
+            self._memo[key] = super()._evaluate_signature(
+                defects, record_logs
+            )
+        return self._memo[key]
+
+
+DISTRIBUTIONS = st.builds(
+    DefectDistribution,
+    rate=st.floats(min_value=0.0, max_value=1.0),
+    multi_fault_rate=st.floats(min_value=0.0, max_value=0.3),
+    severity_law=st.sampled_from(SEVERITY_LAWS),
+)
+
+
+class TestDefectFreeYield:
+    @given(size=st.integers(1, 16), seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_rate_zero_ships_every_unit(self, size, seed):
+        config = LotConfig(
+            size=size, seed=seed, defects=DefectDistribution(rate=0.0)
+        )
+        report = MemoLine(config).run()
+        counts = report.counts()
+        assert counts["pass"] == size
+        assert counts["false-fail"] == 0
+        assert report.yield_fraction == 1.0
+        assert report.escapes == []
+        report.raise_for_escapes()
+
+
+class TestDispositionPartition:
+    @given(
+        size=st.integers(1, 8),
+        seed=st.integers(0, 2**16),
+        defects=DISTRIBUTIONS,
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_partition_and_stage_chain(self, size, seed, defects):
+        config = LotConfig(size=size, seed=seed, defects=defects)
+        report = MemoLine(config).run()
+        counts = report.counts()
+        # One disposition per unit, every unit counted exactly once.
+        assert sum(counts.values()) == report.size == size
+        for unit in report.units:
+            if unit.defective:
+                assert unit.disposition in ("caught", "pass-latent", "escape")
+            else:
+                assert unit.disposition in ("pass", "false-fail")
+            if unit.disposition in ("caught", "false-fail"):
+                assert unit.caught_by in config.stages
+            else:
+                assert unit.caught_by is None
+            if unit.disposition == "escape":
+                assert unit.oracle is not None and unit.oracle.is_escape
+        # Stage chain: each stage tests exactly its predecessor's
+        # survivors, and splits them exactly into pass/caught/false-fail.
+        stages = report.stages
+        assert stages[0].tested == report.size
+        for earlier, later in zip(stages, stages[1:]):
+            assert later.tested == earlier.passed
+        for stage in stages:
+            assert (
+                stage.tested
+                == stage.passed + stage.caught + stage.false_fails
+            )
+        # Per-stage tallies sum into the lot partition: nothing double
+        # counted, nothing lost.
+        assert sum(s.caught for s in stages) == counts["caught"]
+        assert sum(s.false_fails for s in stages) == counts["false-fail"]
+        assert stages[-1].passed == report.shipped
+
+
+class TestStageOrderInvariance:
+    @given(
+        seed=st.integers(0, 500),
+        order=st.permutations(list(STAGE_NAMES)),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_permuting_the_program_moves_catches_not_escapes(
+        self, seed, order
+    ):
+        base = LotConfig(
+            size=6,
+            seed=seed,
+            defects=DefectDistribution(rate=0.7, multi_fault_rate=0.2),
+        )
+        forward = MemoLine(base).run()
+        permuted = MemoLine(
+            dataclasses.replace(base, stages=tuple(order))
+        ).run()
+        assert [u.unit for u in permuted.escapes] == [
+            u.unit for u in forward.escapes
+        ]
+        assert permuted.counts() == forward.counts()
+        for a, b in zip(forward.units, permuted.units):
+            assert a.disposition == b.disposition
+            # Only the *attributed* stage may move between programs.
+            assert (a.caught_by is None) == (b.caught_by is None)
