@@ -1,6 +1,6 @@
 # Convenience targets for the compass reproduction.
 
-.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak fleet factory replay fastpath all
+.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak fleet factory scenario replay fastpath all
 
 install:
 	pip install -e . || python setup.py develop
@@ -73,6 +73,15 @@ factory:
 		--json factory-lot-report.json --no-units \
 		--metrics factory-metrics.json
 	PYTHONPATH=src pytest benchmarks/bench_factory.py --benchmark-only -s
+
+# Per-scenario fault campaign over the golden mission corpus: every
+# environment fault x severity x scenario; exits nonzero on any
+# silent-wrong or nonconforming cell, then regenerates
+# BENCH_scenario.json via the scenario benchmark.
+scenario:
+	PYTHONPATH=src python -m repro scenario --campaign \
+		--json scenario-campaign-report.json
+	PYTHONPATH=src pytest benchmarks/bench_scenario.py --benchmark-only -s
 
 # Record a seeded sweep, replay it bit-exactly, then diff it through
 # the scalar, batch and instrumented paths; exit 15 on silent-wrong.

@@ -1,0 +1,89 @@
+"""SCENARIO1 — the golden-corpus mission suite and its fault matrix.
+
+Two standing records in ``BENCH_scenario.json``:
+
+* **suite** — every corpus scenario flown clean through the guarded
+  compensation chain: per-scenario wall clock, worst served error,
+  degraded-step counts, dead-reckoned drift.  The clean-spec scenarios
+  must fly fully in spec; the designed ambush must degrade loudly.
+* **campaign** — the full scenario × environment-fault × severity
+  matrix (the CI ``scenario-campaign`` gate): cell counts by outcome
+  with **silent-wrong ratcheted at exactly zero**.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+from repro.scenario import (
+    CLEAN_SPEC_SCENARIOS,
+    SCENARIOS,
+    ScenarioCampaign,
+    run_scenario,
+)
+from repro.units import TARGET_ACCURACY_DEG
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenario.json"
+
+
+def run_suite():
+    runs = {}
+    for name in sorted(SCENARIOS):
+        start = time.perf_counter()
+        result = run_scenario(name)
+        wall_s = time.perf_counter() - start
+        summary = result.summary()
+        summary["wall_s"] = round(wall_s, 3)
+        runs[name] = summary
+    return runs
+
+
+def test_scenario1_suite_and_campaign(benchmark):
+    runs = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    campaign_start = time.perf_counter()
+    campaign = ScenarioCampaign().run()
+    campaign_wall_s = time.perf_counter() - campaign_start
+    summary = campaign.summary()
+
+    record = {
+        "suite": runs,
+        "campaign": {
+            "cells": summary["cells"],
+            "outcomes": summary["outcomes"],
+            "silent_wrong": summary["silent_wrong"],
+            "nonconforming": summary["nonconforming"],
+            "clean_failures": summary["clean_failures"],
+            "scenarios": summary["scenarios"],
+            "wall_s": round(campaign_wall_s, 3),
+        },
+    }
+    RESULT_PATH.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    lines = []
+    for name, run in runs.items():
+        lines.append(
+            f"{name:<18} max |err| {run['max_abs_error_deg']:6.3f} deg  "
+            f"{run['degraded_steps']:2d}/{run['steps']:2d} degraded  "
+            f"{run['wall_s']:.2f}s"
+        )
+    lines.append(
+        f"campaign: {summary['cells']} cells in {campaign_wall_s:.1f}s — "
+        + ", ".join(f"{k}={v}" for k, v in summary["outcomes"].items())
+    )
+    emit("SCENARIO1 corpus + fault matrix", lines)
+
+    # The ratchet: no scenario, fault or severity produces a quiet lie.
+    assert summary["silent_wrong"] == 0, campaign.silent_wrong()
+    assert summary["nonconforming"] == 0, campaign.nonconforming()
+    assert summary["clean_failures"] == []
+    for name in CLEAN_SPEC_SCENARIOS:
+        run = runs[name]
+        assert run["clean"] is True, (name, run)
+        assert run["max_abs_error_deg"] <= TARGET_ACCURACY_DEG
+    assert runs["urban-ambush"]["degraded_steps"] > 0
+    assert runs["urban-ambush"]["honest"] is True

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Regenerate the golden scenario corpus (``tests/golden/scenarios/``).
+
+Every corpus scenario (:data:`repro.scenario.SCENARIOS`) is flown once
+with ``.rplog`` capture armed; the recorded log and the run's summary
+are pinned:
+
+* ``tests/golden/scenarios/<name>.rplog`` — every raw measurement of
+  the run (calibration rotation + mission steps), self-checking and
+  bit-exactly replayable through :func:`repro.replay.verify_full`;
+* ``tests/golden/scenario_corpus.json`` — per-scenario summaries
+  (max error, degraded steps, flags, drift) plus each log's
+  fingerprint and SHA-256.
+
+``tests/test_scenario_corpus.py`` re-records each scenario and demands
+**byte identity** with the pinned log, so this corpus only changes when
+the physics, the compensation chain, or the scenario DSL changes — and
+then the diff is the review artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_golden_scenarios.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.replay import read_log  # noqa: E402
+from repro.scenario import SCENARIOS, ScenarioRunner  # noqa: E402
+
+GOLDEN_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent / "tests" / "golden"
+)
+CORPUS_DIR = GOLDEN_DIR / "scenarios"
+CORPUS_JSON = GOLDEN_DIR / "scenario_corpus.json"
+
+
+def main() -> int:
+    CORPUS_DIR.mkdir(parents=True, exist_ok=True)
+    corpus = {}
+    failed = False
+    for name in sorted(SCENARIOS):
+        scenario = SCENARIOS[name]
+        log_path = CORPUS_DIR / f"{name}.rplog"
+        result = ScenarioRunner(
+            scenario, record_path=str(log_path)
+        ).run()
+        reader = read_log(str(log_path))
+        raw = log_path.read_bytes()
+        corpus[name] = {
+            "summary": result.summary(),
+            "records": len(reader),
+            "fingerprint": reader.header.fingerprint,
+            "sha256": hashlib.sha256(raw).hexdigest(),
+            "bytes": len(raw),
+        }
+        status = "honest" if result.honest else "SILENT-WRONG"
+        print(
+            f"  {name:<18} {len(reader):3d} records  "
+            f"max |error| {result.max_abs_error_deg:6.3f} deg  {status}"
+        )
+        if not result.honest:
+            failed = True
+    CORPUS_JSON.write_text(
+        json.dumps(corpus, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {CORPUS_JSON} and {len(corpus)} logs in {CORPUS_DIR}")
+    if failed:
+        print(
+            "GOLDEN CORPUS HAS SILENT-WRONG RUNS — do not commit this",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,8 @@ The package mirrors the paper's system decomposition:
 * :mod:`repro.btest` — IEEE 1149.1 boundary-scan test structures [Oli96],
 * :mod:`repro.faults` — fault injection, chaos soak and health campaigns,
 * :mod:`repro.service` — the resilient replicated heading service,
+* :mod:`repro.scenario` — environment & mission scenarios with a
+  guarded compensation chain and per-scenario fault campaigns,
 * :mod:`repro.fleet` — the async sharded heading fleet (admission
   control, load shedding, brownout, deterministic overload soak),
 * :mod:`repro.simulation` — the mixed-signal simulation engine (§5).
@@ -38,12 +40,14 @@ from .errors import (
     ComplianceError,
     ConfigurationError,
     DegradedOperationError,
+    EnvelopeError,
     FaultError,
     OverloadError,
     ProtocolError,
     QuorumError,
     ReproError,
     ResourceError,
+    ScenarioError,
     ServiceError,
     SLOViolationError,
 )
@@ -57,6 +61,7 @@ __all__ = [
     "ComplianceError",
     "ConfigurationError",
     "DegradedOperationError",
+    "EnvelopeError",
     "FaultError",
     "FleetConfig",
     "FleetResponse",
@@ -73,6 +78,7 @@ __all__ = [
     "ReproError",
     "ResourceError",
     "SLOViolationError",
+    "ScenarioError",
     "ServiceConfig",
     "ServiceError",
     "ServiceVerdict",

@@ -19,8 +19,14 @@ Gives the library a bench-top feel without writing code:
   cache/coalesce rates and tail latency (``repro.fleet``),
 * ``factory`` — mint a seeded lot of device instances with defects
   drawn over the fault registry, run the staged production test
-  program (boundary scan → BIST → calibration) and print the lot
-  report; exits 18 (``EscapeError``) on any test escape,
+  program (boundary scan → BIST → calibration → environment screen)
+  and print the lot report; exits 18 (``EscapeError``) on any test
+  escape,
+* ``scenario`` — fly a named (or JSON-defined) environment/mission
+  scenario through the guarded compensation chain, optionally record a
+  replay log, or run the per-scenario fault campaign; ``--strict``
+  turns guard degradations into typed raises (exit 19,
+  ``ScenarioError``/``EnvelopeError``),
 * ``fleet-soak`` — the deterministic fleet storm (chaos + RPS ramp past
   saturation); exits 17 (``SLOViolationError``) when an SLO gate
   breaks,
@@ -65,6 +71,7 @@ from .errors import (
     ReplayError,
     ReproError,
     ResourceError,
+    ScenarioError,
     ServiceError,
     SLOViolationError,
 )
@@ -93,6 +100,8 @@ EXIT_CODES = {
     OverloadError: 16,
     SLOViolationError: 17,
     EscapeError: 18,
+    # EnvelopeError subclasses ScenarioError, so both exit 19.
+    ScenarioError: 19,
 }
 
 
@@ -528,6 +537,103 @@ def _cmd_factory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .scenario import (
+        SCENARIOS,
+        Scenario,
+        ScenarioCampaign,
+        ScenarioRunner,
+        get_scenario,
+    )
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            armed = "guarded" if scenario.compensation.any_armed else "raw"
+            print(f"  {name:<18} {scenario.steps:3d} steps  {armed:<7} "
+                  f"{scenario.description}")
+        return 0
+
+    if args.campaign:
+        campaign = ScenarioCampaign(
+            scenarios=(
+                [get_scenario(args.scenario)] if args.scenario else None
+            ),
+        )
+        result = campaign.run()
+        summary = result.summary()
+        for name in summary["scenarios"]:
+            clean = result.clean_runs[name]
+            print(f"  {name:<18} clean: max |error| "
+                  f"{clean['max_abs_error_deg']:6.3f} deg, "
+                  f"{clean['degraded_steps']}/{clean['steps']} "
+                  "steps degraded")
+        print(
+            f"{summary['cells']} cells: "
+            + ", ".join(f"{k}={v}" for k, v in summary["outcomes"].items())
+        )
+        if args.json:
+            result.write_json(args.json)
+            print(f"wrote {args.json}")
+        for cell in result.silent_wrong():
+            print(
+                f"SILENT-WRONG: {cell.fault} sev={cell.severity} "
+                f"path={cell.path} ({cell.detail})",
+                file=sys.stderr,
+            )
+        for cell in result.nonconforming():
+            print(
+                f"NONCONFORMING: {cell.fault} sev={cell.severity} "
+                f"path={cell.path} -> {cell.outcome.value} ({cell.detail})",
+                file=sys.stderr,
+            )
+        for name in result.clean_failures:
+            print(f"CLEAN-FAILURE: {name} broke its no-fault contract",
+                  file=sys.stderr)
+        ok = (
+            not result.silent_wrong()
+            and not result.nonconforming()
+            and not result.clean_failures
+        )
+        print("RESULT:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
+
+    if args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            scenario = Scenario.from_dict(_json.load(handle))
+    else:
+        scenario = get_scenario(args.scenario or "env-screen")
+    runner = ScenarioRunner(
+        scenario, strict=args.strict, record_path=args.record
+    )
+    result = runner.run()  # strict guard trips raise -> exit 19
+    for s in result.steps:
+        flags = ",".join(s.flags) if s.flags else "-"
+        print(f"  step {s.step:3d}  cmd {s.commanded_heading_deg:7.2f}  "
+              f"served {s.served_heading_deg:7.2f}  "
+              f"err {s.error_deg:+7.3f}  "
+              f"{s.true_temperature_c:6.1f} C  {flags}")
+    print(f"{scenario.name}: {len(result.steps)} steps, "
+          f"max |error| {result.max_abs_error_deg:.3f} deg "
+          f"(unflagged steps {result.max_clean_error_deg:.3f}), "
+          f"{result.degraded_steps} degraded, "
+          f"{result.silent_wrong_steps} silent-wrong")
+    if result.drift_m is not None:
+        print(f"dead-reckoned closure error {result.drift_m:.1f} m "
+              f"over {result.distance_m:.0f} m travelled")
+    if args.record:
+        print(f"recorded replay log -> {args.record}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    print("RESULT:", "PASS" if result.honest else "FAIL")
+    return 0 if result.honest else 1
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     from .core.compass import CompassConfig
     from .core.heading import headings_evenly_spaced
@@ -808,9 +914,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--severity-law", default="uniform",
                    choices=["uniform", "worst", "mild"],
                    help="severity draw over each fault's grid")
-    p.add_argument("--stages", default="btest,bist,calibration",
+    p.add_argument("--stages", default="btest,bist,calibration,env",
                    help="comma-separated test program "
-                        "(default btest,bist,calibration)")
+                        "(default btest,bist,calibration,env)")
     p.add_argument("--path", default="batch", choices=["batch", "scalar"],
                    help="calibration sweep engine (default batch)")
     p.add_argument("--coupon", action="append", metavar="FAULT[:SEV]",
@@ -824,6 +930,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write the factory metrics snapshot as JSON")
     p.set_defaults(func=_cmd_factory)
+
+    p = sub.add_parser(
+        "scenario",
+        help="fly an environment/mission scenario through the guarded "
+             "compensation chain",
+    )
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="corpus scenario name (default env-screen; "
+                        "see --list)")
+    p.add_argument("--file", default=None, metavar="PATH",
+                   help="load the scenario from a JSON declaration "
+                        "instead of the corpus")
+    p.add_argument("--list", action="store_true",
+                   help="list the scenario corpus and exit")
+    p.add_argument("--campaign", action="store_true",
+                   help="run the per-scenario fault campaign (every "
+                        "environment fault x severity x scenario); exits "
+                        "1 on any silent-wrong or nonconforming cell")
+    p.add_argument("--strict", action="store_true",
+                   help="tripped compensation guards raise typed errors "
+                        "(exit 19) instead of degrading loudly")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="capture every raw measurement of the run into a "
+                        "self-checking .rplog")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the mission (or campaign) result as JSON")
+    p.set_defaults(func=_cmd_scenario)
 
     p = sub.add_parser(
         "record",

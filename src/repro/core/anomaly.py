@@ -21,8 +21,9 @@ module supplies the logic.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, Optional
 
 from ..errors import ConfigurationError
 from ..units import (
@@ -58,18 +59,29 @@ class DetectorSettings:
         unstable.
     max_heading_jump_deg:
         Heading change that counts as a jump for the stability check.
+    history_limit:
+        Maximum number of :class:`AnomalyReport` records retained in
+        :attr:`FieldAnomalyDetector.history`.  A mission-length stream
+        checks a measurement every step; the reports are diagnostics,
+        not state, so only the most recent window is kept.  Trust
+        statistics (:meth:`FieldAnomalyDetector.trusted_fraction`) are
+        maintained as exact rolling counters over *every* measurement
+        ever checked, so bounding the window does not change them.
     """
 
     min_field_t: float = EARTH_FIELD_MIN_T * 0.5
     max_field_t: float = EARTH_FIELD_MAX_T * 1.3
     max_magnitude_jump: float = 0.25
     max_heading_jump_deg: float = 30.0
+    history_limit: int = 256
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_field_t < self.max_field_t:
             raise ConfigurationError("field band must satisfy 0 < min < max")
         if self.max_magnitude_jump <= 0.0 or self.max_heading_jump_deg <= 0.0:
             raise ConfigurationError("jump thresholds must be positive")
+        if self.history_limit < 1:
+            raise ConfigurationError("history_limit must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -91,11 +103,22 @@ class FieldAnomalyDetector:
     def __init__(self, settings: DetectorSettings = DetectorSettings()):
         self.settings = settings
         self._previous: Optional[HeadingMeasurement] = None
-        self.history: List[AnomalyReport] = []
+        #: Bounded diagnostic window (most recent ``history_limit``
+        #: reports).  Exact lifetime statistics live in
+        #: :attr:`checked_count` / :attr:`trusted_count`.
+        self.history: Deque[AnomalyReport] = deque(
+            maxlen=settings.history_limit
+        )
+        #: Total measurements ever checked (not bounded by the window).
+        self.checked_count: int = 0
+        #: Total measurements ever classified OK.
+        self.trusted_count: int = 0
 
     def reset(self) -> None:
         self._previous = None
-        self.history = []
+        self.history = deque(maxlen=self.settings.history_limit)
+        self.checked_count = 0
+        self.trusted_count = 0
 
     def check(self, measurement: HeadingMeasurement) -> AnomalyReport:
         """Classify one measurement and update the stream state."""
@@ -128,6 +151,9 @@ class FieldAnomalyDetector:
             report = AnomalyReport(FieldVerdict.OK, measurement, "")
         self._previous = measurement
         self.history.append(report)
+        self.checked_count += 1
+        if report.trusted:
+            self.trusted_count += 1
         return report
 
     def _is_jump(self, measurement: HeadingMeasurement) -> bool:
@@ -150,7 +176,11 @@ class FieldAnomalyDetector:
         )
 
     def trusted_fraction(self) -> float:
-        """Fraction of checked measurements classified OK."""
-        if not self.history:
+        """Fraction of checked measurements classified OK.
+
+        Exact over the full stream (rolling counters), even after the
+        bounded :attr:`history` window has discarded old reports.
+        """
+        if not self.checked_count:
             raise ConfigurationError("no measurements checked yet")
-        return sum(1 for r in self.history if r.trusted) / len(self.history)
+        return self.trusted_count / self.checked_count

@@ -119,6 +119,9 @@ class IntegratedCompass:
             counter_config=config.counter,
             cordic_iterations=config.cordic_iterations,
             schedule=config.schedule,
+            excitation_frequency_hz=(
+                self.front_end.excitation.oscillator.params.frequency_hz
+            ),
         )
         # Observability resolves once here; the front- and back-end share
         # the compass's observer so one measurement is one span tree.

@@ -21,7 +21,7 @@ from ..observe.trace import (
     STAGE_CORDIC_ITER,
     STAGE_COUNTER,
 )
-from ..units import CORDIC_ITERATIONS
+from ..units import CORDIC_ITERATIONS, EXCITATION_FREQUENCY_HZ
 from .control import CompassController
 from .cordic import CordicArctan, CordicStep
 from .counter import CounterConfig, CountResult, UpDownCounter
@@ -59,11 +59,22 @@ class DigitalBackEnd:
         counter_config: CounterConfig = CounterConfig(),
         cordic_iterations: int = CORDIC_ITERATIONS,
         schedule: MeasurementSchedule = MeasurementSchedule(),
+        excitation_frequency_hz: Optional[float] = None,
     ):
         self.counter = UpDownCounter(counter_config)
         self.cordic = CordicArctan(iterations=cordic_iterations)
+        # The sequencer is clocked off the excitation oscillator (a
+        # comparator on the triangle wave), so its state durations track
+        # the *actual* RC-drifted frequency, not the design constant.
+        # That drift is what makes the measurement period usable as an
+        # on-chip thermometer (repro.scenario's oscillator cross-check).
         self.controller = CompassController(
             schedule=schedule,
+            excitation_frequency_hz=(
+                EXCITATION_FREQUENCY_HZ
+                if excitation_frequency_hz is None
+                else excitation_frequency_hz
+            ),
             cordic_iterations=cordic_iterations,
             clock_hz=counter_config.clock_hz,
         )

@@ -105,6 +105,32 @@ class DivergenceError(ReplayError):
     """
 
 
+class ScenarioError(ReproError):
+    """A mission scenario could not be served within its contract.
+
+    Raised by :mod:`repro.scenario` (and the ``scenario`` CLI verb,
+    exit code 19) when a compensation-integrity guard trips in strict
+    mode: the temperature telemetry contradicts the oscillator-period
+    thermometer, the calibration table fails its CRC, or the
+    environment-compensation chain cannot produce a heading it is
+    willing to serve.  The contract is the same one the health seam
+    enforces one layer down: a wrong heading must be *loud*, never
+    plausible.
+    """
+
+
+class EnvelopeError(ScenarioError):
+    """Operating conditions left the envelope the compensation was fitted for.
+
+    Raised when a scenario drives the instrument outside the domain its
+    compensators are valid in — a sensed temperature beyond the
+    polynomial fit range, a tilt beyond the compensable cone, or a
+    calibration table older than its staleness budget in strict mode.
+    Inside the envelope the chain corrects; outside it the honest answer
+    is a refusal, not an extrapolation.
+    """
+
+
 class ServiceError(ReproError):
     """A request to the replicated :mod:`repro.service` layer failed.
 

@@ -27,14 +27,17 @@ from typing import Dict, Tuple
 from ..errors import ConfigurationError
 
 #: The canonical stage order: interconnect boundary scan on the bare
-#: assembly, power-on BIST through the health supervisor, then the
-#: full-circle field calibration sweep.
-STAGE_NAMES = ("btest", "bist", "calibration")
+#: assembly, power-on BIST through the health supervisor, the
+#: full-circle field calibration sweep, then the environment screen
+#: (the ENV_SCREEN mission through the compensation chain — the stage
+#: that sees defects living outside the signal chain: telemetry, the
+#: stored calibration table, the ambient field).
+STAGE_NAMES = ("btest", "bist", "calibration", "env")
 
 #: Severity laws :func:`~repro.factory.defects.mint_units` understands.
 SEVERITY_LAWS = ("uniform", "worst", "mild")
 
-_VALID_LAYERS = ("sensor", "analog", "digital", "scan")
+_VALID_LAYERS = ("sensor", "analog", "digital", "scan", "environment")
 
 
 @dataclass(frozen=True)
@@ -70,6 +73,7 @@ class DefectDistribution:
         ("analog", 2.0),
         ("digital", 2.0),
         ("scan", 3.0),
+        ("environment", 2.0),
     )
     severity_law: str = "uniform"
 

@@ -37,8 +37,9 @@ class Defect:
         The severity the process dealt this unit.
     expected_detector:
         The stage the registry claims should catch this fault at its
-        detector severity (``"btest"`` / ``"bist"`` / ``"calibration"``)
-        — carried on the defect so lot reports are self-describing.
+        detector severity (``"btest"`` / ``"bist"`` / ``"calibration"``
+        / ``"env"``) — carried on the defect so lot reports are
+        self-describing.
     """
 
     fault: str

@@ -64,7 +64,7 @@ def run_field_oracle(
     """Audit a passing defective unit against the product spec in the field."""
     from .stages import split_defects
 
-    _, measurement_defects = split_defects(defects, registry)
+    _, measurement_defects, env_defects = split_defects(defects, registry)
     compass, _ = _fresh_compass(record_logs=False)
     headings = headings_evenly_spaced(
         config.oracle_headings, config.oracle_start_deg
@@ -114,12 +114,45 @@ def run_field_oracle(
                 f"(worst {worst_unflagged:.3f} deg)"
             ),
         )
+    # Environment defects are invisible to the bare heading sweep (they
+    # attack the compensation chain's inputs, not the signal chain), so
+    # a passing unit that carries one is additionally audited in the
+    # field it would actually fly: the screening mission.
+    if env_defects:
+        from ..scenario.campaign import classify_scenario
+        from ..scenario.dsl import ENV_SCREEN
+        from ..scenario.runner import ScenarioRunner
+
+        runner = ScenarioRunner(ENV_SCREEN)
+        try:
+            with contextlib.ExitStack() as stack:
+                _inject_all(stack, env_defects, runner, registry)
+                mission = runner.run()
+        except Exception as error:  # noqa: BLE001 — any raise is loud
+            return OracleResult(
+                verdict="fails-loud",
+                worst_error_deg=worst_unflagged,
+                detail=(
+                    f"environment mission: {type(error).__name__}: {error}"
+                ),
+            )
+        outcome, error, detail = classify_scenario(
+            mission, config.product_tolerance_deg
+        )
+        if outcome is Outcome.SILENT_WRONG:
+            return OracleResult(
+                verdict="silent-wrong",
+                worst_error_deg=error,
+                detail=f"environment mission: {detail}",
+            )
+        if outcome is Outcome.DEGRADED:
+            flagged += mission.degraded_steps
     if flagged:
         return OracleResult(
             verdict="flagged",
             worst_error_deg=worst_unflagged,
-            detail=f"{flagged}/{len(headings)} field headings flagged "
-            "by the supervisor",
+            detail=f"{flagged} field observations flagged by the "
+            "supervisor or the compensation chain",
         )
     return OracleResult(
         verdict="in-spec",

@@ -1,10 +1,12 @@
-"""The three factory test stages, each on a fresh target per signature.
+"""The four factory test stages, each on a fresh target per signature.
 
 Every stage builds its **own** device under test (a fresh
-:class:`~repro.btest.interconnect.SubstrateHarness` or
-:class:`~repro.core.compass.IntegratedCompass`) and injects only the
-defects its probe can see (``probe="scan"`` faults live on the
-substrate harness, ``probe="measurement"`` faults on the compass).
+:class:`~repro.btest.interconnect.SubstrateHarness`,
+:class:`~repro.core.compass.IntegratedCompass`, or
+:class:`~repro.scenario.runner.ScenarioRunner` mission) and injects only
+the defects its probe can see (``probe="scan"`` faults live on the
+substrate harness, ``probe="measurement"`` faults on the compass,
+``probe="scenario"`` faults on the environment-screen runner).
 Fresh targets are a correctness feature, not a convenience: no stage
 can perturb another stage's RNG draw or leave state behind, so the
 three stage verdicts of a defect signature are independent of the
@@ -54,7 +56,7 @@ class StageResult:
     Attributes
     ----------
     stage:
-        ``"btest"`` / ``"bist"`` / ``"calibration"``.
+        ``"btest"`` / ``"bist"`` / ``"calibration"`` / ``"env"``.
     passed:
         Whether the unit passes this stage.
     detail:
@@ -62,8 +64,9 @@ class StageResult:
     sim_time_s:
         Simulated tester time this stage costs per unit [s].
     worst_error_deg:
-        Calibration only: the worst circular heading error over the
-        factory grid, when the sweep completed without raising.
+        Calibration and env only: the worst circular heading error over
+        the factory grid (or served-heading error over the screening
+        mission), when the sweep completed without raising.
     recorder:
         Calibration only, and only when the line runs with
         ``record_logs=True``: the in-memory replay log of the
@@ -80,15 +83,18 @@ class StageResult:
 
 def split_defects(
     defects: Tuple[Defect, ...], registry: FaultRegistry = REGISTRY
-) -> Tuple[Tuple[Defect, ...], Tuple[Defect, ...]]:
-    """(scan-probe defects, measurement-probe defects)."""
+) -> Tuple[Tuple[Defect, ...], Tuple[Defect, ...], Tuple[Defect, ...]]:
+    """(scan-probe, measurement-probe, scenario-probe) defects."""
     scan = tuple(
         d for d in defects if registry.get(d.fault).probe == "scan"
     )
     measurement = tuple(
         d for d in defects if registry.get(d.fault).probe == "measurement"
     )
-    return scan, measurement
+    environment = tuple(
+        d for d in defects if registry.get(d.fault).probe == "scenario"
+    )
+    return scan, measurement, environment
 
 
 def _inject_all(
@@ -127,7 +133,7 @@ def run_btest(
     registry: FaultRegistry = REGISTRY,
 ) -> StageResult:
     """Interconnect boundary scan: counting sequence + complement pass."""
-    scan_defects, _ = split_defects(defects, registry)
+    scan_defects, _, _ = split_defects(defects, registry)
     harness = SubstrateHarness(build_compass_mcm())
     sim_time = btest_sim_time_s(config, harness)
     with contextlib.ExitStack() as stack:
@@ -173,7 +179,7 @@ def run_bist(
     cross-consistency, tick window, field band — and any flag, not just
     a hard fault, fails the unit.
     """
-    _, measurement_defects = split_defects(defects, registry)
+    _, measurement_defects, _ = split_defects(defects, registry)
     compass, _ = _fresh_compass(record_logs=False)
     sim_time = compass.back_end.controller.measurement_duration()
     with contextlib.ExitStack() as stack:
@@ -235,7 +241,7 @@ def run_calibration(
     rejects.  This is the stage that catches in-spec-at-BIST defects
     that bend the heading somewhere else on the circle.
     """
-    _, measurement_defects = split_defects(defects, registry)
+    _, measurement_defects, _ = split_defects(defects, registry)
     compass, recorder = _fresh_compass(record_logs)
     duration = compass.back_end.controller.measurement_duration()
     headings = headings_evenly_spaced(
@@ -306,10 +312,108 @@ def run_calibration(
     )
 
 
+#: Memoized environment-screen verdicts, keyed by the environment
+#: sub-signature (plus the gate and registry identity).  The screen is a
+#: full simulated mission — pre-flight calibration rotation plus the
+#: six-step ENV_SCREEN through the compensation chain — three orders of
+#: magnitude costlier than one stage measurement, and most defect
+#: signatures share the *empty* environment sub-signature, so the cache
+#: collapses a lot (and a permutation sweep of lots) to a handful of
+#: scenario runs.  Safe to share across lines: the verdict is a pure
+#: function of the key, and StageResult is treated as read-only.
+_ENV_MEMO: dict = {}
+
+
+def run_env(
+    defects: Tuple[Defect, ...],
+    config: LotConfig,
+    registry: FaultRegistry = REGISTRY,
+) -> StageResult:
+    """Environment screen: the ENV_SCREEN mission on the factory simulator.
+
+    The unit flies the screening mission (ramped temperature,
+    mid-mission tilt, one full rotation of headings) with its
+    environment-layer defects injected into the scenario seams —
+    telemetry, the stored calibration table, the ambient field.  A typed
+    raise, any compensation-integrity flag, or a worst served-heading
+    error beyond the calibration gate fails the unit.  This is the only
+    stage that can see defects living *outside* the signal chain: the
+    signal chain of a unit with a stuck thermistor is perfectly healthy.
+    """
+    from ..scenario.dsl import ENV_SCREEN
+    from ..scenario.runner import CALIBRATION_HEADINGS, ScenarioRunner
+
+    _, _, env_defects = split_defects(defects, registry)
+    key = (
+        tuple(sorted((d.fault, d.severity) for d in env_defects)),
+        config.gate_tolerance_deg,
+        id(registry),
+    )
+    cached = _ENV_MEMO.get(key)
+    if cached is not None:
+        return cached
+    compass, _ = _fresh_compass(record_logs=False)
+    sim_time = (
+        len(CALIBRATION_HEADINGS) + ENV_SCREEN.steps
+    ) * compass.back_end.controller.measurement_duration()
+    runner = ScenarioRunner(ENV_SCREEN)
+    with contextlib.ExitStack() as stack:
+        _inject_all(stack, env_defects, runner, registry)
+        try:
+            run = runner.run()
+        except ReproError as error:
+            result = StageResult(
+                stage="env",
+                passed=False,
+                detail=f"{type(error).__name__}: {error}",
+                sim_time_s=sim_time,
+            )
+            _ENV_MEMO[key] = result
+            return result
+    worst = run.max_abs_error_deg
+    if run.degraded_steps:
+        result = StageResult(
+            stage="env",
+            passed=False,
+            detail=(
+                f"compensation degraded on {run.degraded_steps}/"
+                f"{len(run.steps)} mission steps "
+                f"({','.join(run.flags)})"
+            ),
+            sim_time_s=sim_time,
+            worst_error_deg=worst,
+        )
+    elif worst > config.gate_tolerance_deg:
+        result = StageResult(
+            stage="env",
+            passed=False,
+            detail=(
+                f"worst served error {worst:.3f} deg beyond the "
+                f"{config.gate_tolerance_deg:g} deg gate"
+            ),
+            sim_time_s=sim_time,
+            worst_error_deg=worst,
+        )
+    else:
+        result = StageResult(
+            stage="env",
+            passed=True,
+            detail=(
+                f"mission clean, worst served error {worst:.3f} deg "
+                f"over {len(run.steps)} steps"
+            ),
+            sim_time_s=sim_time,
+            worst_error_deg=worst,
+        )
+    _ENV_MEMO[key] = result
+    return result
+
+
 _RUNNERS = {
     "btest": run_btest,
     "bist": run_bist,
     "calibration": run_calibration,
+    "env": run_env,
 }
 
 
@@ -332,6 +436,7 @@ __all__ = [
     "run_bist",
     "run_btest",
     "run_calibration",
+    "run_env",
     "run_stage",
     "split_defects",
 ]

@@ -7,7 +7,8 @@ reproduction:
 
 * :mod:`repro.faults.model` — a registry of parameterized, injectable
   faults spanning every layer (sensor coils, analogue front-end, digital
-  datapath, scan chain), implemented as reversible monkey-hooks around
+  datapath, scan chain, and the environment seams of
+  :mod:`repro.scenario`), implemented as reversible monkey-hooks around
   live component instances so no production code path changes shape;
 * :mod:`repro.faults.campaign` — a campaign engine that sweeps
   (fault × severity × heading) grids through the scalar and batch
@@ -37,6 +38,11 @@ from .campaign import (
 )
 from .chaos import ChaosSoak, SoakConfig, SoakEvent, SoakReport
 from .model import REGISTRY, FaultRegistry, FaultSpec, registered_faults
+
+# Populate the environment layer (imported for its registration side
+# effect; the injectors duck-type the ScenarioRunner seams, so this
+# does not pull in repro.scenario).
+from . import environment as _environment  # noqa: F401  isort: skip
 
 __all__ = [
     "CampaignCell",

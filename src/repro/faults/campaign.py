@@ -119,7 +119,7 @@ class CampaignCell:
     fault: str
     severity: float
     heading_deg: Optional[float]
-    path: str  # "scalar" | "batch" | "scan"
+    path: str  # "scalar" | "batch" | "scan" | "scenario" | "scenario:<name>"
     outcome: Outcome
     error_deg: Optional[float]
     detail: str
@@ -317,6 +317,31 @@ class FaultCampaign:
                 )
         return cells
 
+    def _run_scenario_probe(
+        self, spec: FaultSpec, severity: float
+    ) -> List[CampaignCell]:
+        """Environment faults: inject into a ScenarioRunner and fly the
+        factory environment screen (temperature ramp + tilt table)."""
+        from ..scenario.campaign import classify_scenario
+        from ..scenario.dsl import ENV_SCREEN
+        from ..scenario.runner import ScenarioRunner
+
+        runner = ScenarioRunner(ENV_SCREEN)
+        try:
+            with self.registry.inject(spec.name, runner, severity):
+                scenario_result = runner.run()
+        except ReproError as exc:
+            outcome = Outcome.DETECTED
+            error: Optional[float] = None
+            detail = f"{type(exc).__name__}: {exc}"
+        else:
+            outcome, error, detail = classify_scenario(
+                scenario_result, self.tolerance_deg
+            )
+        return [
+            self._cell(spec, severity, None, "scenario", outcome, error, detail)
+        ]
+
     def _run_scan(self, spec: FaultSpec, severity: float) -> List[CampaignCell]:
         harness = SubstrateHarness(build_compass_mcm())
         with self.registry.inject(spec.name, harness, severity):
@@ -379,6 +404,11 @@ class FaultCampaign:
             for severity in spec.severities:
                 if spec.probe == "scan":
                     result.cells.extend(self._run_scan(spec, severity))
+                    continue
+                if spec.probe == "scenario":
+                    result.cells.extend(
+                        self._run_scenario_probe(spec, severity)
+                    )
                     continue
                 if "scalar" in self.paths:
                     result.cells.extend(self._run_scalar(spec, severity))

@@ -1,0 +1,243 @@
+"""Environment-layer faults: the world lies to the compensation chain.
+
+Every fault below attacks an *input* of the
+:class:`~repro.scenario.compensation.CompensationChain` rather than the
+measurement datapath: the temperature telemetry, the tilt telemetry, the
+stored calibration table, or the ambient field itself.  The signal chain
+keeps producing perfectly healthy measurements — the danger is a
+compensator confidently correcting with wrong auxiliary data, which is
+exactly the silent-wrong shape the chain's integrity guards exist to
+kill (oscillator-thermometer cross-check, CRC seal, staleness watchdog,
+field-magnitude residual monitor, anomaly gate).
+
+Injection targets a :class:`~repro.scenario.ScenarioRunner` through its
+declared seams (``telemetry``, ``tamper_calibration``,
+``extra_anomaly``) via the same reversible instance-dict monkey-hooks
+the other layers use; the injectors duck-type the runner so this module
+registers without importing :mod:`repro.scenario`.
+
+Honest blind windows (tabulated in ``docs/fault_model.md``):
+
+* a *small horizontal* anomaly rotates the field without measurably
+  changing its magnitude — below ~tan(1°) of the local horizontal field
+  no magnitude-based guard can see it, which is why the low severity of
+  ``environment.anomaly_ambush`` is pinned benign; and between that
+  spec line and the residual monitor's threshold (~6 % of the field)
+  sits a genuinely *silent* band — big enough to rotate the heading
+  past 1°, too small to move the magnitude — that a single two-axis
+  magnitude-only instrument cannot close (characterized in
+  ``tests/test_property_scenario.py``; a gradiometer array would);
+* a lying tilt sensor is invisible at headings where the vertical-field
+  leak is perpendicular to the plane magnitude (the residual and the
+  heading error are complementary projections) — scenarios detect it by
+  *rotating* through headings, and the residual monitor latches sticky
+  once any heading sensitises it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Iterator
+
+from .model import REGISTRY, FaultSpec, _patched
+
+#: What a stuck thermistor reports forever: the bench temperature.
+STUCK_TEMPERATURE_C = 25.0
+
+#: World-frame direction of the injected ambush field (unnormalised).
+_AMBUSH_DIRECTION = (1.0, -0.6, 0.3)
+
+
+# -- telemetry faults ----------------------------------------------------------
+
+
+@contextlib.contextmanager
+def _inject_temp_sensor_stuck(runner, severity: float) -> Iterator[None]:
+    """The temperature sensor reports a frozen 25 °C forever."""
+
+    def temperature_c(step: int, true_c: float) -> float:
+        return STUCK_TEMPERATURE_C
+
+    with _patched(runner.telemetry, "temperature_c", temperature_c):
+        yield
+
+
+@contextlib.contextmanager
+def _inject_temp_sensor_drift(runner, severity: float) -> Iterator[None]:
+    """The temperature sensor drifts by ``severity`` K per mission step."""
+
+    def temperature_c(step: int, true_c: float) -> float:
+        return true_c + severity * step
+
+    with _patched(runner.telemetry, "temperature_c", temperature_c):
+        yield
+
+
+@contextlib.contextmanager
+def _inject_tilt_sensor_stuck(runner, severity: float) -> Iterator[None]:
+    """The tilt sensor reports level regardless of the true attitude."""
+
+    def tilt_deg(step: int, true_pitch_deg: float, true_roll_deg: float):
+        return 0.0, 0.0
+
+    with _patched(runner.telemetry, "tilt_deg", tilt_deg):
+        yield
+
+
+# -- calibration-store faults --------------------------------------------------
+
+
+@contextlib.contextmanager
+def _inject_calibration_corrupt(runner, severity: float) -> Iterator[None]:
+    """The stored table is corrupted *without* resealing — CRC must trip."""
+
+    def tamper(store):
+        model = store.model
+        broken = dataclasses.replace(
+            model, offset_x=model.offset_x + 0.1 * model.radius + 1.0
+        )
+        # Mutate the payload, keep the old CRC: storage corruption.
+        return dataclasses.replace(store, model=broken)
+
+    with _patched(runner, "tamper_calibration", tamper):
+        yield
+
+
+@contextlib.contextmanager
+def _inject_calibration_stale(runner, severity: float) -> Iterator[None]:
+    """The table is ``severity`` missions old — the watchdog must flag."""
+
+    def tamper(store):
+        return dataclasses.replace(
+            store, age_missions=store.age_missions + int(severity)
+        )
+
+    with _patched(runner, "tamper_calibration", tamper):
+        yield
+
+
+# -- ambient-field faults ------------------------------------------------------
+
+
+@contextlib.contextmanager
+def _inject_anomaly_ambush(runner, severity: float) -> Iterator[None]:
+    """A parked disturbance of ``severity`` µT appears at mid-mission."""
+    from ..scenario.dsl import AnomalySpec
+
+    norm = (
+        sum(c * c for c in _AMBUSH_DIRECTION) ** 0.5
+    )
+    scale = severity / norm
+    ambush = AnomalySpec(
+        delta_north_ut=_AMBUSH_DIRECTION[0] * scale,
+        delta_east_ut=_AMBUSH_DIRECTION[1] * scale,
+        delta_down_ut=_AMBUSH_DIRECTION[2] * scale,
+        start_fraction=0.5,
+    )
+    with _patched(runner, "extra_anomaly", ambush):
+        yield
+
+
+# -- registration --------------------------------------------------------------
+
+REGISTRY.register(
+    FaultSpec(
+        name="environment.temp_sensor_stuck",
+        layer="environment",
+        description="temperature telemetry frozen at 25 °C; the polynomial "
+        "compensator corrects for the wrong temperature until the "
+        "oscillator-period thermometer contradicts it (>15 K divergence)",
+        severity_meaning="unused (stuck is stuck)",
+        severities=(1.0,),
+        expected=("detected|degraded|benign",),
+        probe="scenario",
+        expected_detector="env",
+    ),
+    _inject_temp_sensor_stuck,
+)
+
+REGISTRY.register(
+    FaultSpec(
+        name="environment.temp_sensor_drift",
+        layer="environment",
+        description="temperature telemetry drifts linearly (reference "
+        "leakage); sub-kelvin drift is below every threshold, a runaway "
+        "reading crosses the oscillator cross-check within two steps",
+        severity_meaning="telemetry drift per mission step [K]",
+        severities=(0.05, 8.0),
+        expected=("benign", "detected|degraded"),
+        probe="scenario",
+        expected_detector="env",
+    ),
+    _inject_temp_sensor_drift,
+)
+
+REGISTRY.register(
+    FaultSpec(
+        name="environment.tilt_sensor_stuck",
+        layer="environment",
+        description="tilt sensor reports level forever; on a tilted "
+        "platform the chain stops compensating the vertical-field leak, "
+        "and the field-magnitude residual monitor catches the leak at "
+        "the headings that sensitise it (sticky latch; see the blind "
+        "window note in docs/fault_model.md)",
+        severity_meaning="unused (stuck is stuck)",
+        severities=(1.0,),
+        expected=("detected|degraded|benign",),
+        probe="scenario",
+        expected_detector="env",
+    ),
+    _inject_tilt_sensor_stuck,
+)
+
+REGISTRY.register(
+    FaultSpec(
+        name="environment.calibration_corrupt",
+        layer="environment",
+        description="stored iron-calibration table corrupted in place "
+        "(flash decay, bad write) without resealing; the CRC check "
+        "refuses the table before any heading is served through it",
+        severity_meaning="unused (any corruption breaks the seal)",
+        severities=(1.0,),
+        expected=("detected|degraded|benign",),
+        probe="scenario",
+        expected_detector="env",
+    ),
+    _inject_calibration_corrupt,
+)
+
+REGISTRY.register(
+    FaultSpec(
+        name="environment.calibration_stale",
+        layer="environment",
+        description="iron-calibration table far past its staleness "
+        "budget (platform refitted, cargo moved); the age watchdog "
+        "flags every heading served through the old table",
+        severity_meaning="missions elapsed since the table was fitted",
+        severities=(12.0,),
+        expected=("detected|degraded|benign",),
+        probe="scenario",
+        expected_detector="env",
+    ),
+    _inject_calibration_stale,
+)
+
+REGISTRY.register(
+    FaultSpec(
+        name="environment.anomaly_ambush",
+        layer="environment",
+        description="a parked magnetic disturbance appears at mid-mission; "
+        "below ~2 % of the local horizontal field it rotates the heading "
+        "less than the 1° spec (benign by physics), above ~6 % of the "
+        "total field the residual monitor and the sticky anomaly gate "
+        "refuse it, and the band in between is a documented silent "
+        "window no magnitude-based guard can close (docs/fault_model.md)",
+        severity_meaning="disturbance magnitude [µT]",
+        severities=(0.3, 30.0),
+        expected=("benign", "detected|degraded"),
+        probe="scenario",
+        expected_detector="env",
+    ),
+    _inject_anomaly_ambush,
+)

@@ -10,7 +10,8 @@ next cell.
 
 Each :class:`FaultSpec` declares:
 
-* the **layer** it lives in (sensor / analog / digital / scan),
+* the **layer** it lives in (sensor / analog / digital / scan /
+  environment),
 * the **severities** the campaign sweeps (semantics documented per
   fault — a fraction of signal lost, an input-referred offset in volts,
   a bit index),
@@ -46,8 +47,9 @@ OUTCOME_TOKENS = ("detected", "degraded", "benign")
 
 #: Factory-stage tokens a spec may claim as its expected detector
 #: (see :mod:`repro.factory`): interconnect boundary scan, power-on
-#: BIST, or the field calibration sweep.
-DETECTOR_STAGES = ("btest", "bist", "calibration")
+#: BIST, the field calibration sweep, or the environment screen
+#: (a short :mod:`repro.scenario` run over temperature/tilt points).
+DETECTOR_STAGES = ("btest", "bist", "calibration", "env")
 
 #: An injector: (target, severity) -> context manager applying the fault.
 Injector = Callable[[object, float], ContextManager[None]]
@@ -62,7 +64,8 @@ class FaultSpec:
     name:
         Registry key, ``<layer>.<fault>``.
     layer:
-        ``"sensor"``, ``"analog"``, ``"digital"`` or ``"scan"``.
+        ``"sensor"``, ``"analog"``, ``"digital"``, ``"scan"`` or
+        ``"environment"``.
     description:
         What physically broke.
     severity_meaning:
@@ -76,10 +79,12 @@ class FaultSpec:
         valid token: no registered fault may expect to go unnoticed.
     probe:
         ``"measurement"`` — inject into a compass and measure;
-        ``"scan"`` — inject into a boundary-scan harness and diagnose.
+        ``"scan"`` — inject into a boundary-scan harness and diagnose;
+        ``"scenario"`` — inject into a
+        :class:`~repro.scenario.ScenarioRunner` and run a mission.
     expected_detector:
-        The factory test stage (``"btest"``, ``"bist"`` or
-        ``"calibration"``) that must catch this fault at
+        The factory test stage (``"btest"``, ``"bist"``,
+        ``"calibration"`` or ``"env"``) that must catch this fault at
         :attr:`detector_severity` — the machine-readable stage hint the
         production line's accounting and the registry-parametrized
         detection test key on.  Scan faults are interconnect-test
@@ -99,9 +104,11 @@ class FaultSpec:
     expected_detector: str = "bist"
 
     def __post_init__(self) -> None:
-        if self.layer not in ("sensor", "analog", "digital", "scan"):
+        if self.layer not in (
+            "sensor", "analog", "digital", "scan", "environment"
+        ):
             raise ConfigurationError(f"unknown fault layer {self.layer!r}")
-        if self.probe not in ("measurement", "scan"):
+        if self.probe not in ("measurement", "scan", "scenario"):
             raise ConfigurationError(f"unknown probe kind {self.probe!r}")
         if len(self.severities) == 0:
             raise ConfigurationError(f"{self.name}: need at least one severity")

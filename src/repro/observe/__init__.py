@@ -60,6 +60,8 @@ from .config import (
     M_HEALTH_CHECKS,
     M_HEALTH_FALLBACKS,
     M_MEASUREMENTS,
+    M_SCENARIO_GUARDS,
+    M_SCENARIO_STEPS,
     M_SERVICE_ATTEMPTS,
     M_SERVICE_ATTEMPTS_PER_REQUEST,
     M_SERVICE_LATENCY,
@@ -125,6 +127,8 @@ __all__ = [
     "M_HEALTH_CHECKS",
     "M_HEALTH_FALLBACKS",
     "M_MEASUREMENTS",
+    "M_SCENARIO_GUARDS",
+    "M_SCENARIO_STEPS",
     "M_SERVICE_ATTEMPTS",
     "M_SERVICE_ATTEMPTS_PER_REQUEST",
     "M_SERVICE_LATENCY",

@@ -56,6 +56,8 @@ M_FLEET_BROWNOUT = "fleet_brownout_level"          # {} gauge
 M_FLEET_BROWNOUT_SHIFTS = "fleet_brownout_transitions_total"  # {to}
 M_FACTORY_UNITS = "factory_units_total"            # {disposition}
 M_FACTORY_STAGE = "factory_stage_outcomes_total"   # {stage, outcome}
+M_SCENARIO_STEPS = "scenario_steps_total"          # {scenario, status}
+M_SCENARIO_GUARDS = "scenario_guard_flags_total"   # {scenario, flag}
 
 #: Heading histogram buckets: the eight compass octants.
 HEADING_BUCKETS = (45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0, 360.0)
@@ -228,6 +230,8 @@ __all__ = [
     "M_MEASUREMENTS",
     "M_SERVICE_ATTEMPTS",
     "M_SERVICE_ATTEMPTS_PER_REQUEST",
+    "M_SCENARIO_GUARDS",
+    "M_SCENARIO_STEPS",
     "M_SERVICE_LATENCY",
     "M_SERVICE_REQUESTS",
     "M_VOTE_DISSENT",

@@ -1,0 +1,687 @@
+"""The environment-compensation chain and its integrity guards.
+
+The chain composes the repo's existing correction blocks into the
+firmware a fielded compass would run:
+
+1. **Temperature** — a polynomial compensator fitted over
+   :data:`~repro.scenario.dsl.FIT_TEMPERATURES_C` (the arXiv 2401.13321
+   recipe: characterise the field-estimate gain against temperature,
+   fit, divide out), plus the *oscillator-period thermometer*: the
+   measurement duration is derived from the excitation oscillator whose
+   RC drifts ~55 ppm/K, so the digital side carries an independent
+   coarse thermometer that cross-checks the temperature telemetry.
+2. **Iron calibration** — the :mod:`repro.core.calibration` ellipse fit,
+   wrapped in a :class:`CalibrationStore` that CRC-seals the table and
+   tracks its age in missions.
+3. **Tilt** — inversion of :func:`repro.core.tilt.tilt_error_deg` by
+   fixed-point iteration, using the sensed attitude and the location's
+   field model.
+4. **Anomaly gating** — the bounded
+   :class:`~repro.core.anomaly.FieldAnomalyDetector` plus a sticky
+   trusted-magnitude baseline, so a disturbance that *stays* does not
+   regain trust after its onset jump.
+
+Robustness core: every compensator input is guarded.  A guard that
+trips either raises a typed :class:`~repro.errors.ScenarioError` /
+:class:`~repro.errors.EnvelopeError` (strict mode) or attaches a flag
+that makes the step *degraded* (degrade mode) — silent mis-compensation
+is designed out.  ``docs/scenarios.md`` documents each guard's
+physical basis and its honest blind windows.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import zlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.anomaly import DetectorSettings, FieldAnomalyDetector
+from ..core.calibration import CalibrationModel
+from ..core.compass import CompassConfig, IntegratedCompass
+from ..core.heading import HeadingMeasurement
+from ..core.tilt import Attitude, body_field_components, tilt_error_deg
+from ..errors import EnvelopeError, ScenarioError
+from ..physics.earth_field import FieldVector
+from ..physics.thermal import T_REFERENCE_C, compass_config_at_temperature
+from ..units import tesla_to_a_per_m, wrap_degrees
+
+# Guard flags the chain can attach to a step (any flag => degraded).
+F_TEMP_ENVELOPE = "temp-envelope"
+F_TEMP_IMPLAUSIBLE = "temp-implausible"
+F_CAL_CRC = "calibration-crc"
+F_CAL_STALE = "calibration-stale"
+F_CAL_FIT = "calibration-fit"
+F_FIELD_BAND = "field-band"
+F_TILT_ENVELOPE = "tilt-envelope"
+F_FIELD_RESIDUAL = "field-residual"
+F_ANOMALY = "anomaly"
+
+
+@dataclass(frozen=True)
+class ThermalCalibration:
+    """Fitted temperature model of one compass design.
+
+    ``gain_coeffs`` is the polynomial (highest power first, argument
+    ``T − 25``) of the field-estimate gain relative to the reference
+    temperature; ``duration_c0/c1`` is the linear fit of the measurement
+    duration against temperature — the oscillator-period thermometer.
+    """
+
+    gain_coeffs: Tuple[float, ...]
+    duration_c0: float
+    duration_c1: float
+    t_min_c: float
+    t_max_c: float
+    reference_field_a_per_m: float
+
+    def gain(self, temperature_c: float) -> float:
+        return float(
+            np.polyval(self.gain_coeffs, temperature_c - T_REFERENCE_C)
+        )
+
+    def correct_field(
+        self, field_a_per_m: float, temperature_c: float
+    ) -> float:
+        return field_a_per_m / self.gain(temperature_c)
+
+    def predicted_duration_s(self, temperature_c: float) -> float:
+        return self.duration_c0 + self.duration_c1 * temperature_c
+
+    def implied_temperature_c(self, duration_s: float) -> float:
+        """Invert the oscillator-period thermometer."""
+        return (duration_s - self.duration_c0) / self.duration_c1
+
+    def duration_residual_kelvin(
+        self, duration_s: float, sensed_temperature_c: float
+    ) -> float:
+        """Disagreement between telemetry and the oscillator thermometer
+        [K]: how far the sensed temperature is from the one the
+        excitation period implies."""
+        return self.implied_temperature_c(duration_s) - sensed_temperature_c
+
+    @classmethod
+    def fit(
+        cls,
+        base_config: CompassConfig,
+        temperatures_c: Sequence[float],
+        field_t: float = 50.0e-6,
+        heading_deg: float = 45.0,
+        degree: int = 2,
+    ) -> "ThermalCalibration":
+        """Characterise a design over a temperature grid and fit.
+
+        One compass is built per grid point (the thermal chamber sweep
+        of the factory's characterisation run) and measured once; the
+        gain polynomial and the duration line come from those samples.
+        """
+        if len(temperatures_c) < degree + 1:
+            raise ScenarioError(
+                f"thermal fit needs at least {degree + 1} temperatures"
+            )
+        gains: List[float] = []
+        durations: List[float] = []
+        reference = None
+        for temperature in temperatures_c:
+            compass = IntegratedCompass(
+                compass_config_at_temperature(base_config, temperature)
+            )
+            measurement = compass.measure_heading(heading_deg, field_t)
+            gains.append(measurement.field_estimate_a_per_m)
+            durations.append(measurement.measurement_time_s)
+            if temperature == T_REFERENCE_C:
+                reference = measurement.field_estimate_a_per_m
+        if reference is None:
+            compass = IntegratedCompass(
+                compass_config_at_temperature(base_config, T_REFERENCE_C)
+            )
+            reference = compass.measure_heading(
+                heading_deg, field_t
+            ).field_estimate_a_per_m
+        temps = np.asarray(temperatures_c, dtype=float)
+        gain_coeffs = np.polyfit(
+            temps - T_REFERENCE_C, np.asarray(gains) / reference, degree
+        )
+        duration_c1, duration_c0 = np.polyfit(
+            temps, np.asarray(durations), 1
+        )
+        return cls(
+            gain_coeffs=tuple(float(c) for c in gain_coeffs),
+            duration_c0=float(duration_c0),
+            duration_c1=float(duration_c1),
+            t_min_c=float(min(temperatures_c)),
+            t_max_c=float(max(temperatures_c)),
+            reference_field_a_per_m=float(reference),
+        )
+
+
+#: Fitted thermal calibrations, keyed by the config's repr — one chamber
+#: characterisation per design, shared across runners and campaigns.
+_THERMAL_CACHE: Dict[str, ThermalCalibration] = {}
+
+
+def thermal_calibration_for(
+    base_config: CompassConfig, temperatures_c: Sequence[float]
+) -> ThermalCalibration:
+    """Cached :meth:`ThermalCalibration.fit` for a compass design."""
+    key = repr(base_config) + repr(tuple(temperatures_c))
+    if key not in _THERMAL_CACHE:
+        _THERMAL_CACHE[key] = ThermalCalibration.fit(
+            base_config, temperatures_c
+        )
+    return _THERMAL_CACHE[key]
+
+
+def _encode_model(model: CalibrationModel) -> bytes:
+    return json.dumps(
+        {
+            "offset_x": model.offset_x,
+            "offset_y": model.offset_y,
+            "matrix": model.matrix,
+            "radius": model.radius,
+        },
+        sort_keys=True,
+    ).encode("ascii")
+
+
+def _encode_store_payload(
+    model: CalibrationModel, fit_residual_deg: float
+) -> bytes:
+    # The fit-quality self-assessment is part of the sealed payload:
+    # a table whose recorded residual was edited without resealing is
+    # as corrupt as one whose offsets were.
+    return _encode_model(model) + (
+        f"|fit_residual_deg={fit_residual_deg!r}".encode("ascii")
+    )
+
+
+@dataclass
+class CalibrationStore:
+    """The persisted iron-calibration table, CRC-sealed and age-tracked.
+
+    ``crc`` covers the exact float encoding of the model *and* its
+    fit-quality self-assessment; ``verify`` recomputes it so a
+    corrupted-in-storage table is caught before a single heading is
+    served through it.  ``age_missions`` counts missions since the fit
+    — the staleness watchdog's input.
+
+    ``fit_residual_deg`` is the table's own report card, measured at
+    seal time: the worst circular distance between a commanded
+    turn-table heading and the heading the fitted model reconstructs
+    from that rotation's counts.  The affine ellipse model is exact
+    only insofar as counts are linear in field — off the reference
+    temperature, in weak horizontal fields, or under near-bound iron
+    the per-axis nonlinearity leaves a residual the fit *cannot*
+    remove, and the rotation itself exposes it (the commanded headings
+    are known).  The chain's fit-quality guard reads this number.
+    """
+
+    model: CalibrationModel
+    crc: int = 0
+    age_missions: int = 0
+    fit_residual_deg: float = 0.0
+
+    @classmethod
+    def sealed(
+        cls,
+        model: CalibrationModel,
+        age_missions: int = 0,
+        fit_residual_deg: float = 0.0,
+    ) -> "CalibrationStore":
+        return cls(
+            model=model,
+            crc=zlib.crc32(_encode_store_payload(model, fit_residual_deg)),
+            age_missions=age_missions,
+            fit_residual_deg=fit_residual_deg,
+        )
+
+    def verify(self) -> bool:
+        return (
+            zlib.crc32(
+                _encode_store_payload(self.model, self.fit_residual_deg)
+            )
+            == self.crc
+        )
+
+
+class AnomalyGate:
+    """Sticky disturbance gate over the corrected field magnitude.
+
+    Wraps the :class:`~repro.core.anomaly.FieldAnomalyDetector` (band +
+    jump checks) and adds the property the raw detector lacks: once a
+    disturbance arrives, the *pre-disturbance* magnitude stays the trust
+    baseline, so a field that jumped and then holds steady does not
+    quietly regain trust while the disturbance is still there.
+    """
+
+    def __init__(
+        self,
+        settings: DetectorSettings = DetectorSettings(),
+        baseline_jump: float = 0.25,
+    ):
+        self.detector = FieldAnomalyDetector(settings)
+        self.baseline_jump = baseline_jump
+        self.baseline_a_per_m: Optional[float] = None
+
+    def check(self, measurement: HeadingMeasurement,
+              corrected_field_a_per_m: float) -> Tuple[bool, str]:
+        """Classify one step; returns (trusted, detail).
+
+        The band/jump detector judges the *corrected* magnitude: the raw
+        estimate carries the vertical-field tilt leak, which modulates
+        with heading and would read as a "disturbance in motion" on any
+        rotating, tilted platform.  After compensation only a genuine
+        ambient change can move the magnitude.
+        """
+        report = self.detector.check(
+            replace(
+                measurement,
+                field_estimate_a_per_m=corrected_field_a_per_m,
+            )
+        )
+        if self.baseline_a_per_m is not None:
+            deviation = (
+                abs(corrected_field_a_per_m - self.baseline_a_per_m)
+                / self.baseline_a_per_m
+            )
+            if deviation > self.baseline_jump:
+                return False, (
+                    f"field {deviation:.0%} off the trusted baseline "
+                    f"({report.verdict.value})"
+                )
+        if not report.trusted:
+            return False, report.detail
+        if self.baseline_a_per_m is None:
+            self.baseline_a_per_m = corrected_field_a_per_m
+        else:
+            # Slow tracking keeps the baseline honest against drift
+            # without letting a step change re-anchor it.
+            self.baseline_a_per_m += 0.1 * (
+                corrected_field_a_per_m - self.baseline_a_per_m
+            )
+        return True, ""
+
+
+@dataclass(frozen=True)
+class ChainConfig:
+    """Thresholds of the compensation-integrity guards."""
+
+    strict: bool = False
+    #: Margin beyond the thermal fit range before EnvelopeError [°C].
+    temperature_margin_c: float = 5.0
+    #: Telemetry/oscillator-thermometer disagreement that trips the
+    #: plausibility guard [K] (~3 counter ticks of window drift).
+    temperature_implausible_k: float = 15.0
+    #: Staleness watchdog budget [missions since the table was fitted].
+    max_calibration_age_missions: int = 0
+    #: Worst self-measured calibration-rotation residual the chain will
+    #: serve unflagged [deg].  An affine fit that cannot reproduce its
+    #: own turn-table headings to this budget is operating outside the
+    #: domain where the ellipse model is trustworthy (off-reference
+    #: temperature, weak horizontal field, near-bound iron) — still the
+    #: best correction available, but every heading through it is
+    #: flagged.  The golden corpus fits at ≤0.29°; the known
+    #: silent-wrong envelope corners fit at ≥0.9°.
+    max_fit_residual_deg: float = 0.5
+    #: Horizontal-field floor of the iron-calibrated instrument's
+    #: qualified envelope [µT].  Heading resolution is degrees per
+    #: count, and counts scale with the horizontal field — below this
+    #: floor the count nonlinearity alone can exceed the 1° spec with
+    #: barely any platform iron, so every calibrated heading is served
+    #: flagged.  (The paper rates 25–65 µT worldwide; 20 µT is where
+    #: our characterisation shows the spec genuinely becomes
+    #: unattainable.)
+    qualified_field_floor_ut: float = 20.0
+    #: The paper's rated field-band minimum [µT].  Between the floor
+    #: and this line the instrument operates *derated*: the iron
+    #: budget shrinks to ``derated_iron_fraction``.
+    rated_field_min_ut: float = 25.0
+    #: Maximum hard-iron fraction of the horizontal field (measured
+    #: from the table's own fitted ``|offset| / radius``) the chain
+    #: serves unflagged when the field is below the rated band.
+    derated_iron_fraction: float = 0.075
+    #: Compensable tilt cone; beyond it the small-tilt inversion is
+    #: extrapolating and the honest answer is a refusal [deg].
+    max_tilt_deg: float = 20.0
+    #: Relative corrected-magnitude residual against the location model
+    #: that latches the field-residual monitor.
+    residual_threshold: float = 0.06
+    #: Steps the residual must persist before latching (one-step
+    #: glitches are quantisation, not faults).
+    residual_persistence: int = 1
+
+
+@dataclass(frozen=True)
+class ChainVerdict:
+    """One step's compensated output plus its honesty metadata."""
+
+    heading_deg: float
+    field_a_per_m: float
+    flags: Tuple[str, ...]
+    detail: str
+    temperature_used_c: float
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.flags)
+
+
+class CompensationChain:
+    """The per-mission compensation pipeline with integrity guards.
+
+    One instance per scenario run — the residual monitor, anomaly gate
+    and staleness watchdog are stateful across the mission's steps.
+    """
+
+    def __init__(
+        self,
+        field_model: FieldVector,
+        declination_deg: float,
+        thermal: Optional[ThermalCalibration] = None,
+        store: Optional[CalibrationStore] = None,
+        tilt_enabled: bool = False,
+        anomaly_enabled: bool = False,
+        config: ChainConfig = ChainConfig(),
+    ):
+        self.field_model = field_model
+        self.declination_deg = declination_deg
+        self.thermal = thermal
+        self.store = store
+        self.tilt_enabled = tilt_enabled
+        self.config = config
+        self.gate = AnomalyGate() if anomaly_enabled else None
+        self._residual_streak = 0
+        self.residual_latched = False
+
+    # -- guard helpers ---------------------------------------------------------
+
+    def _refuse(self, kind: type, message: str) -> None:
+        if self.config.strict:
+            raise kind(message)
+
+    # -- stages ----------------------------------------------------------------
+
+    def _temperature_stage(
+        self, measurement: HeadingMeasurement, sensed_c: float,
+        flags: List[str], notes: List[str],
+    ) -> Tuple[float, float]:
+        """Returns (temperature to compensate with, corrected field)."""
+        thermal = self.thermal
+        if thermal is None:
+            return sensed_c, measurement.field_estimate_a_per_m
+        cfg = self.config
+        t_used = sensed_c
+        low = thermal.t_min_c - cfg.temperature_margin_c
+        high = thermal.t_max_c + cfg.temperature_margin_c
+        if not low <= sensed_c <= high:
+            self._refuse(
+                EnvelopeError,
+                f"sensed temperature {sensed_c:.1f} °C outside the "
+                f"compensator's fitted envelope [{low:.0f}, {high:.0f}] °C",
+            )
+            flags.append(F_TEMP_ENVELOPE)
+            notes.append(f"T={sensed_c:.1f}C outside fit envelope")
+            t_used = min(max(sensed_c, thermal.t_min_c), thermal.t_max_c)
+        residual_k = thermal.duration_residual_kelvin(
+            measurement.measurement_time_s, sensed_c
+        )
+        if abs(residual_k) > cfg.temperature_implausible_k:
+            implied = thermal.implied_temperature_c(
+                measurement.measurement_time_s
+            )
+            self._refuse(
+                ScenarioError,
+                f"temperature telemetry implausible: sensor says "
+                f"{sensed_c:.1f} °C but the excitation period implies "
+                f"{implied:.1f} °C",
+            )
+            flags.append(F_TEMP_IMPLAUSIBLE)
+            notes.append(
+                f"telemetry {sensed_c:.0f}C vs oscillator {implied:.0f}C"
+            )
+            # Graceful degradation: trust the instrument's own
+            # thermometer over the contradicted telemetry.
+            t_used = min(max(implied, thermal.t_min_c), thermal.t_max_c)
+        corrected = thermal.correct_field(
+            measurement.field_estimate_a_per_m, t_used
+        )
+        return t_used, corrected
+
+    def _calibration_stage(
+        self, measurement: HeadingMeasurement, field_a_per_m: float,
+        flags: List[str], notes: List[str],
+    ) -> Tuple[float, float]:
+        """Returns (heading after iron correction, corrected field)."""
+        store = self.store
+        if store is None:
+            return measurement.heading_deg, field_a_per_m
+        if not store.verify():
+            self._refuse(
+                ScenarioError,
+                "calibration table failed its CRC check — refusing to "
+                "serve headings through a corrupted correction",
+            )
+            flags.append(F_CAL_CRC)
+            notes.append("calibration CRC mismatch; table bypassed")
+            return measurement.heading_deg, field_a_per_m
+        if store.age_missions > self.config.max_calibration_age_missions:
+            self._refuse(
+                EnvelopeError,
+                f"calibration table is {store.age_missions} missions old "
+                f"(budget {self.config.max_calibration_age_missions}) — "
+                "the platform's iron signature may have changed",
+            )
+            flags.append(F_CAL_STALE)
+            notes.append(f"calibration {store.age_missions} missions old")
+            # Stale is a warning, not a bypass: the table is still the
+            # best correction available, but every heading through it is
+            # flagged until a refit.
+        if store.fit_residual_deg > self.config.max_fit_residual_deg:
+            self._refuse(
+                EnvelopeError,
+                f"calibration fit residual {store.fit_residual_deg:.2f}° "
+                f"exceeds the {self.config.max_fit_residual_deg:.2f}° "
+                "budget — the ellipse model could not reproduce its own "
+                "calibration rotation, so its corrections are not "
+                "trustworthy here",
+            )
+            flags.append(F_CAL_FIT)
+            notes.append(
+                f"calibration fit residual "
+                f"{store.fit_residual_deg:.2f} deg over budget"
+            )
+            # Like staleness: apply the best available correction, but
+            # never serve it unflagged.
+        model = store.model
+        cfg = self.config
+        horizontal_ut = self.field_model.horizontal * 1e6
+        iron_fraction = (
+            math.hypot(model.offset_x, model.offset_y) / model.radius
+            if model.radius > 0.0
+            else 0.0
+        )
+        if horizontal_ut < cfg.qualified_field_floor_ut:
+            self._refuse(
+                EnvelopeError,
+                f"horizontal field {horizontal_ut:.1f} µT is below the "
+                f"{cfg.qualified_field_floor_ut:.0f} µT floor of the "
+                "iron-calibrated instrument's qualified envelope",
+            )
+            flags.append(F_FIELD_BAND)
+            notes.append(
+                f"horizontal field {horizontal_ut:.1f} uT below "
+                "qualified floor"
+            )
+        elif (
+            horizontal_ut < cfg.rated_field_min_ut
+            and iron_fraction > cfg.derated_iron_fraction
+        ):
+            self._refuse(
+                EnvelopeError,
+                f"platform iron is {iron_fraction:.0%} of the "
+                f"{horizontal_ut:.1f} µT horizontal field — over the "
+                f"{cfg.derated_iron_fraction:.1%} derated budget below "
+                f"the rated {cfg.rated_field_min_ut:.0f} µT band",
+            )
+            flags.append(F_FIELD_BAND)
+            notes.append(
+                f"iron {iron_fraction:.0%} over derated budget at "
+                f"{horizontal_ut:.1f} uT"
+            )
+        heading = model.corrected_heading_deg(
+            measurement.x_count, measurement.y_count
+        )
+        raw_norm = math.hypot(measurement.x_count, measurement.y_count)
+        if raw_norm > 0.0:
+            corrected_norm = math.hypot(
+                *model.apply(measurement.x_count, measurement.y_count)
+            )
+            field_a_per_m *= corrected_norm / raw_norm
+        return heading, field_a_per_m
+
+    def _tilt_stage(
+        self, heading_deg: float, pitch_deg: float, roll_deg: float,
+        flags: List[str], notes: List[str],
+    ) -> float:
+        if not self.tilt_enabled:
+            return heading_deg
+        cfg = self.config
+        if (
+            abs(pitch_deg) > cfg.max_tilt_deg
+            or abs(roll_deg) > cfg.max_tilt_deg
+        ):
+            self._refuse(
+                EnvelopeError,
+                f"sensed tilt ({pitch_deg:.1f}°, {roll_deg:.1f}°) outside "
+                f"the ±{cfg.max_tilt_deg:.0f}° compensable cone",
+            )
+            flags.append(F_TILT_ENVELOPE)
+            notes.append("tilt outside compensable cone")
+            return heading_deg
+        if pitch_deg == 0.0 and roll_deg == 0.0:
+            return heading_deg
+        # Invert the tilt leak by fixed point: the measured heading is
+        # level-reading + tilt_error(yaw); yaw = level-reading +
+        # declination in this model's conventions.
+        level = heading_deg
+        for _ in range(4):
+            attitude = Attitude(
+                wrap_degrees(level + self.declination_deg),
+                pitch_deg,
+                roll_deg,
+            )
+            error = tilt_error_deg(self.field_model, attitude)
+            level = wrap_degrees(heading_deg - error)
+        return level
+
+    def _expected_plane_field(
+        self, heading_deg: float, pitch_deg: float, roll_deg: float
+    ) -> float:
+        """Model prediction of the (tilt-leaked) in-plane magnitude [A/m].
+
+        When tilt compensation is armed the chain predicts the magnitude
+        *including* the vertical leak the sensed attitude implies; a
+        tilt sensor that under-reports the true tilt therefore shows up
+        as a magnitude residual at headings where the leak projects onto
+        the plane — the monitor's detection geometry.
+        """
+        attitude = Attitude(
+            wrap_degrees(heading_deg + self.declination_deg),
+            pitch_deg if self.tilt_enabled else 0.0,
+            roll_deg if self.tilt_enabled else 0.0,
+        )
+        bx, by, _ = body_field_components(self.field_model, attitude)
+        return tesla_to_a_per_m(math.hypot(bx, by))
+
+    def _residual_stage(
+        self, heading_deg: float, field_a_per_m: float,
+        pitch_deg: float, roll_deg: float,
+        flags: List[str], notes: List[str],
+    ) -> None:
+        expected = self._expected_plane_field(
+            heading_deg, pitch_deg, roll_deg
+        )
+        if expected <= 0.0:
+            return
+        residual = (field_a_per_m - expected) / expected
+        if abs(residual) > self.config.residual_threshold:
+            self._residual_streak += 1
+        else:
+            self._residual_streak = 0
+        if self._residual_streak >= self.config.residual_persistence:
+            self.residual_latched = True
+        if self.residual_latched:
+            self._refuse(
+                ScenarioError,
+                f"corrected field magnitude {residual:+.1%} off the "
+                "location model — compensation integrity lost "
+                "(tilt sensor, calibration or environment implausible)",
+            )
+            flags.append(F_FIELD_RESIDUAL)
+            notes.append(f"field residual {residual:+.1%} (latched)")
+
+    # -- the pipeline ----------------------------------------------------------
+
+    def process(
+        self,
+        measurement: HeadingMeasurement,
+        sensed_temperature_c: float,
+        sensed_pitch_deg: float,
+        sensed_roll_deg: float,
+    ) -> ChainVerdict:
+        """Run one raw measurement through the full chain."""
+        flags: List[str] = []
+        notes: List[str] = []
+        if measurement.degraded:
+            flags.extend(measurement.health.flags or ("health",))
+        t_used, field_est = self._temperature_stage(
+            measurement, sensed_temperature_c, flags, notes
+        )
+        heading, field_est = self._calibration_stage(
+            measurement, field_est, flags, notes
+        )
+        heading = self._tilt_stage(
+            heading, sensed_pitch_deg, sensed_roll_deg, flags, notes
+        )
+        self._residual_stage(
+            heading, field_est, sensed_pitch_deg, sensed_roll_deg,
+            flags, notes,
+        )
+        if self.gate is not None:
+            # Normalise the magnitude to its level equivalent before the
+            # gate: the vertical-field leak modulates the in-plane
+            # magnitude with heading on a tilted platform, and without
+            # this a rotating user reads as a moving disturbance.  A
+            # lying tilt sensor corrupts the normalisation — but that
+            # also *moves* the gate magnitude, so it stays detectable
+            # (and is primarily the residual monitor's catch anyway).
+            gate_field = field_est
+            if self.tilt_enabled and (sensed_pitch_deg or sensed_roll_deg):
+                tilted = self._expected_plane_field(
+                    heading, sensed_pitch_deg, sensed_roll_deg
+                )
+                level = self._expected_plane_field(heading, 0.0, 0.0)
+                if tilted > 0.0:
+                    gate_field = field_est * level / tilted
+            trusted, detail = self.gate.check(measurement, gate_field)
+            if not trusted:
+                self._refuse(
+                    ScenarioError, f"anomaly gate refused the field: {detail}"
+                )
+                flags.append(F_ANOMALY)
+                notes.append(detail)
+        return ChainVerdict(
+            heading_deg=heading,
+            field_a_per_m=field_est,
+            flags=tuple(dict.fromkeys(flags)),
+            detail="; ".join(notes),
+            temperature_used_c=t_used,
+        )
+
+
+def aged_store(store: CalibrationStore, missions: int) -> CalibrationStore:
+    """A copy of a sealed store aged by ``missions`` (CRC still valid)."""
+    return replace(store, age_missions=store.age_missions + missions)

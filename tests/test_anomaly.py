@@ -96,6 +96,58 @@ class TestVerdicts:
         assert report.verdict is FieldVerdict.OK
 
 
+class TestBoundedHistory:
+    """A mission-length stream must not grow memory without bound."""
+
+    def test_history_limit_validated(self):
+        with pytest.raises(ConfigurationError):
+            DetectorSettings(history_limit=0)
+
+    def test_history_window_bounded(self):
+        settings = DetectorSettings(history_limit=16)
+        detector = FieldAnomalyDetector(settings)
+        for _ in range(100):
+            detector.check(measurement())
+        assert len(detector.history) == 16
+        assert detector.history.maxlen == 16
+        assert detector.checked_count == 100
+
+    def test_trusted_fraction_exact_beyond_window(self):
+        # 1 untrusted out of every 5 checks, far past the window: the
+        # rolling counters keep the fraction exact at 4/5 even though
+        # the deque has long since dropped the early reports.
+        settings = DetectorSettings(history_limit=16)
+        detector = FieldAnomalyDetector(settings)
+        n = 500
+        for i in range(n):
+            field = 300e-6 if i % 5 == 0 else 50e-6
+            detector.check(measurement(field_t=field))
+        assert len(detector.history) == 16
+        assert detector.checked_count == n
+        assert detector.trusted_count == n - n // 5
+        assert detector.trusted_fraction() == (n - n // 5) / n
+
+    def test_window_holds_most_recent_reports(self):
+        settings = DetectorSettings(history_limit=4)
+        detector = FieldAnomalyDetector(settings)
+        for _ in range(10):
+            detector.check(measurement(field_t=50e-6))
+        detector.check(measurement(field_t=300e-6))
+        # The newest report is in the window; the oldest fell out.
+        assert detector.history[-1].verdict is FieldVerdict.TOO_STRONG
+        assert len(detector.history) == 4
+
+    def test_reset_restores_bounded_window(self):
+        settings = DetectorSettings(history_limit=8)
+        detector = FieldAnomalyDetector(settings)
+        for _ in range(20):
+            detector.check(measurement())
+        detector.reset()
+        assert len(detector.history) == 0
+        assert detector.history.maxlen == 8
+        assert detector.checked_count == 0
+
+
 class TestStreamBehaviour:
     def test_history_and_trusted_fraction(self):
         detector = FieldAnomalyDetector()

@@ -192,6 +192,13 @@ class TestTypedExitCodes:
         assert exit_code_for(OverloadError("x")) == 16
         assert exit_code_for(SLOViolationError("x")) == 17
 
+    def test_scenario_error_codes(self):
+        from repro.errors import EnvelopeError, ScenarioError
+
+        assert exit_code_for(ScenarioError("x")) == 19
+        # EnvelopeError subclasses ScenarioError: same typed exit.
+        assert exit_code_for(EnvelopeError("x")) == 19
+
     def test_weak_field_exits_with_protocol_code(self, capsys):
         # 0.001 µT is below the counter trust threshold → ProtocolError.
         assert main(["measure", "--field", "0.001"]) == 5
@@ -230,6 +237,74 @@ class TestFaultsCommand:
     def test_unknown_fault_exits_with_configuration_code(self, capsys):
         assert main(["faults", "--fault", "bogus.fault"]) == 3
         assert "ConfigurationError" in capsys.readouterr().err
+
+
+class TestScenarioCommand:
+    def test_registered_in_parser(self):
+        args = build_parser().parse_args(["scenario"])
+        assert args.command == "scenario"
+        assert args.scenario is None
+        assert not args.campaign
+
+    def test_list_corpus(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bench-clean-50ut", "urban-ambush", "env-screen"):
+            assert name in out
+
+    def test_clean_mission_passes_and_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "mission.json"
+        code = main([
+            "scenario", "--scenario", "env-screen", "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RESULT: PASS" in out
+        assert "0 silent-wrong" in out
+        record = json.loads(path.read_text())
+        assert record["scenario"] == "env-screen"
+        assert record["honest"] is True
+
+    def test_record_writes_a_valid_rplog(self, capsys, tmp_path):
+        path = tmp_path / "mission.rplog"
+        code = main([
+            "scenario", "--scenario", "env-screen",
+            "--record", str(path),
+        ])
+        assert code == 0
+        from repro.replay import read_log
+
+        assert len(read_log(str(path))) > 0
+
+    def test_file_scenario_round_trip(self, capsys, tmp_path):
+        from repro.scenario import get_scenario
+
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            json.dumps(get_scenario("env-screen").to_dict())
+        )
+        assert main(["scenario", "--file", str(path)]) == 0
+        assert "env-screen" in capsys.readouterr().out
+
+    def test_strict_guard_trip_exits_19(self, capsys):
+        code = main([
+            "scenario", "--scenario", "urban-ambush", "--strict",
+        ])
+        assert code == 19
+        err = capsys.readouterr().err
+        assert "ScenarioError" in err
+        assert "Traceback" not in err
+
+    def test_unknown_scenario_exits_with_configuration_code(self, capsys):
+        assert main(["scenario", "--scenario", "bogus"]) == 3
+        assert "ConfigurationError" in capsys.readouterr().err
+
+    def test_degraded_mission_still_passes_when_honest(self, capsys):
+        # urban-ambush degrades loudly — honest, so exit 0.
+        assert main(["scenario", "--scenario", "urban-ambush"]) == 0
+        out = capsys.readouterr().out
+        assert "6 degraded" in out
+        assert "RESULT: PASS" in out
 
 
 class TestServeSimCommand:

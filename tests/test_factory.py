@@ -287,7 +287,7 @@ class TestStageOrderInvariance:
             assert a.counts() == b.counts()
 
     @pytest.mark.slow
-    def test_all_six_permutations_same_escape_set(self):
+    def test_all_permutations_same_escape_set(self):
         import itertools
 
         reports = [

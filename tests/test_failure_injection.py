@@ -196,4 +196,6 @@ class TestRegisteredFaultPopulation:
 
     def test_registry_covers_every_layer(self):
         layers = {spec.layer for spec in registered_faults()}
-        assert layers == {"sensor", "analog", "digital", "scan"}
+        assert layers == {
+            "sensor", "analog", "digital", "scan", "environment",
+        }

@@ -1,0 +1,285 @@
+"""Property tests for the scenario engine: honesty under arbitrary draws.
+
+Three properties, matching the robustness contract:
+
+* **No fault lies** — any registered environment fault, at any drawn
+  severity outside the documented magnitude-blind window (not just the
+  registered grid points), flown over the environment screen, never
+  yields a silent-wrong step.  The window itself — an ambush big
+  enough to rotate the heading past 1° but too small to move the field
+  magnitude past the residual threshold — is pinned as *real* by a
+  companion characterization test, because a two-axis magnitude-only
+  instrument is physically blind there (``docs/fault_model.md``).
+* **Clean environments stay in spec** — a guard-armed scenario with
+  drawn temperature / tilt / location / iron (up to
+  ``DRAWN_IRON_FRACTION`` of the local horizontal field, *including*
+  locations below the paper's rated field band) serves every
+  *unflagged* heading within the paper's 1° spec.  The guards that
+  make the strong form hold: the store's sealed ``fit_residual_deg``
+  self-assessment flags tables the affine ellipse model demonstrably
+  cannot describe, and the qualified-envelope guard flags operation
+  below the 20 µT horizontal-field floor or with over-budget iron in
+  the derated 20–25 µT band.  Companion characterization tests pin
+  each guard at the envelope's edges.
+* **Bit identity** — any golden-grid cell reproduced through the
+  scenario engine's clean bench path matches its pinned vector with
+  ``==``, never ``approx``.
+"""
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.faults import REGISTRY, registered_faults
+from repro.physics.earth_field import field_at_location
+from repro.scenario import (
+    ENV_SCREEN,
+    F_CAL_FIT,
+    F_FIELD_BAND,
+    IronDistortion,
+    Scenario,
+    ScenarioRunner,
+    TemperatureProfile,
+    TiltProfile,
+    bench_clean_scenario,
+    run_scenario,
+)
+from repro.units import TARGET_ACCURACY_DEG
+
+ENV_FAULTS = sorted(
+    spec.name for spec in registered_faults() if spec.probe == "scenario"
+)
+
+#: The anomaly magnitude-blind window on the environment screen [µT]:
+#: below the lower edge a horizontal ambush rotates the heading less
+#: than the 1° spec (benign by physics, ~tan(1°) of the local
+#: horizontal field); above the upper edge it moves the corrected
+#: magnitude past the 6 % residual threshold (caught, with margin for
+#: the disturbance/field projection).  In between, a disturbance that
+#: rotates the field without measurably changing its magnitude is
+#: invisible to every magnitude-based guard — a physical limit of a
+#: single two-axis sensor, documented in docs/fault_model.md and
+#: pinned below by TestNoFaultLies.test_magnitude_blind_window_is_real.
+AMBUSH_BLIND_UT = (0.4, 2.5)
+
+#: Per-fault severity strategy — spans the registered grid and the
+#: space between/around it, minus documented physically-blind bands.
+_SEVERITY_STRATEGY = {
+    "environment.temp_sensor_stuck": st.just(1.0),
+    "environment.temp_sensor_drift": st.floats(
+        0.0, 10.0, allow_nan=False, allow_infinity=False
+    ),
+    "environment.tilt_sensor_stuck": st.just(1.0),
+    "environment.calibration_corrupt": st.just(1.0),
+    "environment.calibration_stale": st.floats(
+        1.0, 40.0, allow_nan=False, allow_infinity=False
+    ),
+    "environment.anomaly_ambush": st.one_of(
+        st.floats(
+            0.0, AMBUSH_BLIND_UT[0],
+            allow_nan=False, allow_infinity=False,
+        ),
+        st.floats(
+            AMBUSH_BLIND_UT[1], 40.0,
+            allow_nan=False, allow_infinity=False,
+        ),
+    ),
+}
+
+
+class TestNoFaultLies:
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_any_env_fault_any_severity_never_silent_wrong(self, data):
+        name = data.draw(st.sampled_from(ENV_FAULTS), label="fault")
+        severity = data.draw(_SEVERITY_STRATEGY[name], label="severity")
+        runner = ScenarioRunner(ENV_SCREEN)
+        try:
+            with REGISTRY.inject(name, runner, severity):
+                result = runner.run()
+        except ReproError:
+            return  # detected: a typed refusal is an honest outcome
+        assert result.silent_wrong_steps == 0, result.summary()
+
+    def test_magnitude_blind_window_is_real(self):
+        # Characterization, not aspiration: a 1 µT ambush rotates the
+        # served heading past the 1° spec while moving the corrected
+        # magnitude ~2 % — below the 6 % residual threshold — so the
+        # chain serves it unflagged.  A single two-axis magnitude-only
+        # compass cannot close this window (the magnitude of B+d is
+        # heading-invariant); spatial differencing (a gradiometer
+        # array — ROADMAP) is the known fix.  If a future guard closes
+        # the window, this test fails loudly: delete it and narrow
+        # AMBUSH_BLIND_UT.
+        runner = ScenarioRunner(ENV_SCREEN)
+        with REGISTRY.inject("environment.anomaly_ambush", runner, 1.0):
+            result = runner.run()
+        assert result.silent_wrong_steps > 0
+        assert result.flags == ()
+
+
+#: The drawn iron envelope: hard-iron magnitude per axis as a fraction
+#: of the *local horizontal field*.  The fit residual the affine
+#: ellipse model leaves behind scales with how large the count-space
+#: offset is relative to the signal circle, so a fixed µT budget that
+#: is trivial at São Paulo (29 µT horizontal) is degrading at Enschede
+#: (18 µT) — the draw must be relative to stress every location
+#: equally hard.  This is deliberately *wider* than the instrument's
+#: qualified envelope: the property asserts that over-envelope draws
+#: come back flagged, not silently wrong.
+DRAWN_IRON_FRACTION = 0.15
+
+
+def _drawn_scenario(draw) -> Scenario:
+    base_c = draw(
+        st.floats(-5.0, 50.0, allow_nan=False), label="base_c"
+    )
+    ramp = draw(st.floats(-1.5, 1.5, allow_nan=False), label="ramp")
+    pitch = draw(st.floats(-8.0, 8.0, allow_nan=False), label="pitch")
+    roll = draw(st.floats(-8.0, 8.0, allow_nan=False), label="roll")
+    onset = draw(st.sampled_from([0.0, 0.5]), label="onset")
+    location = draw(
+        st.sampled_from(
+            ["enschede", "san_francisco", "equator_atlantic", "sao_paulo"]
+        ),
+        label="location",
+    )
+    iron_cap_ut = (
+        DRAWN_IRON_FRACTION
+        * field_at_location(location).horizontal
+        * 1e6
+    )
+    hard_x = draw(
+        st.floats(-iron_cap_ut, iron_cap_ut, allow_nan=False),
+        label="hard_x",
+    )
+    hard_y = draw(
+        st.floats(-iron_cap_ut, iron_cap_ut, allow_nan=False),
+        label="hard_y",
+    )
+    y_gain = draw(st.floats(0.95, 1.06, allow_nan=False), label="y_gain")
+    cross = draw(st.floats(-0.04, 0.04, allow_nan=False), label="cross")
+    return Scenario(
+        name="drawn",
+        steps=6,
+        heading_start_deg=draw(
+            st.floats(0.0, 359.0, allow_nan=False), label="start"
+        ),
+        turn_deg_per_step=60.0,
+        location=location,
+        temperature=TemperatureProfile(base_c=base_c, ramp_c_per_step=ramp),
+        tilt=TiltProfile(
+            pitch_deg=pitch, roll_deg=roll, onset_fraction=onset
+        ),
+        iron=IronDistortion(
+            hard_x_ut=hard_x, hard_y_ut=hard_y,
+            cross_coupling=cross, y_gain=y_gain,
+        ),
+    )
+
+
+class TestCleanEnvironmentsStayInSpec:
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_unflagged_headings_within_spec(self, data):
+        scenario = _drawn_scenario(data.draw)
+        result = ScenarioRunner(scenario).run()
+        # The honesty invariant: whatever the drawn environment does,
+        # an out-of-spec heading is never served without a flag.
+        assert result.silent_wrong_steps == 0, result.summary()
+        assert result.max_clean_error_deg <= TARGET_ACCURACY_DEG
+
+    def test_degraded_fit_flagged_not_silent(self):
+        # Characterization of the fit-quality guard: heavy iron at the
+        # hot end of the envelope, in the rated band, is where the
+        # affine ellipse fit degrades past the spec (fit residual
+        # ~1.2° at São Paulo).  The store's sealed self-assessment
+        # catches it at calibration time, so the chain serves every
+        # step flagged — degraded, never silent-wrong.
+        scenario = Scenario(
+            name="degraded-fit",
+            steps=6,
+            heading_start_deg=0.0,
+            turn_deg_per_step=60.0,
+            location="sao_paulo",
+            temperature=TemperatureProfile(base_c=50.0),
+            iron=IronDistortion(
+                hard_x_ut=-6.0, hard_y_ut=6.0,
+                cross_coupling=0.04, y_gain=1.06,
+            ),
+        )
+        result = ScenarioRunner(scenario).run()
+        assert result.silent_wrong_steps == 0
+        assert all(F_CAL_FIT in step.flags for step in result.steps)
+
+    def test_below_floor_operation_is_flagged(self):
+        # Characterization of the qualified-envelope floor: Enschede's
+        # 18 µT horizontal field is below the 20 µT floor, where the
+        # count nonlinearity alone can cross the 1° spec with ~1 µT of
+        # platform iron and no magnitude guard notices.  The chain
+        # knows its own location model, so every calibrated heading is
+        # served flagged there.
+        scenario = Scenario(
+            name="below-floor",
+            steps=6,
+            heading_start_deg=0.0,
+            turn_deg_per_step=60.0,
+            location="enschede",
+            temperature=TemperatureProfile(base_c=25.0),
+            iron=IronDistortion(hard_x_ut=1.5, hard_y_ut=-1.0),
+        )
+        result = ScenarioRunner(scenario).run()
+        assert result.silent_wrong_steps == 0
+        assert all(F_FIELD_BAND in step.flags for step in result.steps)
+
+    def test_derated_band_iron_is_flagged(self):
+        # Characterization of the derating rule: San Francisco's
+        # 21.8 µT horizontal field sits between the qualified floor
+        # and the paper's rated 25 µT band, where the iron budget
+        # shrinks to 7.5 % — 3 µT of hard iron (~15 %) must come back
+        # flagged, because exactly such missions were observed serving
+        # unflagged >1° errors with fit residuals inside budget.
+        scenario = Scenario(
+            name="derated-iron",
+            steps=6,
+            heading_start_deg=0.0,
+            turn_deg_per_step=60.0,
+            location="san_francisco",
+            temperature=TemperatureProfile(base_c=25.0),
+            iron=IronDistortion(hard_x_ut=3.0, hard_y_ut=1.5),
+        )
+        result = ScenarioRunner(scenario).run()
+        assert result.silent_wrong_steps == 0
+        assert all(F_FIELD_BAND in step.flags for step in result.steps)
+
+
+GOLDEN = json.loads(
+    (
+        pathlib.Path(__file__).parent / "golden" / "compass_vectors.json"
+    ).read_text(encoding="utf-8")
+)
+
+
+class TestBitIdentity:
+    @pytest.fixture(scope="class")
+    def bench_runs(self):
+        return {
+            field_ut: run_scenario(bench_clean_scenario(field_ut))
+            for field_ut in GOLDEN["meta"]["field_magnitudes_ut"]
+        }
+
+    @settings(max_examples=30, deadline=None)
+    @given(index=st.integers(0, len(GOLDEN["vectors"]) - 1))
+    def test_drawn_golden_cell_bit_identical(self, bench_runs, index):
+        vector = GOLDEN["vectors"][index]
+        run = bench_runs[vector["field_ut"]]
+        step = next(
+            s for s in run.steps
+            if s.commanded_heading_deg == vector["true_heading_deg"]
+        )
+        assert step.raw_heading_deg == vector["heading_deg"]
+        assert step.served_heading_deg == vector["heading_deg"]
+        assert step.flags == ()
