@@ -1,6 +1,6 @@
 # Convenience targets for the compass reproduction.
 
-.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak fleet factory scenario replay fastpath all
+.PHONY: install test test-slow test-all lint bench bench-tables examples datasheet floorplan faults serve-sim soak fleet factory scenario array replay fastpath all
 
 install:
 	pip install -e . || python setup.py develop
@@ -82,6 +82,14 @@ scenario:
 	PYTHONPATH=src python -m repro scenario --campaign \
 		--json scenario-campaign-report.json
 	PYTHONPATH=src pytest benchmarks/bench_scenario.py --benchmark-only -s
+
+# Gradiometer array gates: one fused measurement through the 4-element
+# reference array via the CLI, then regenerate BENCH_array.json — the
+# dead-element benign gate, the array fault campaign (silent-wrong 0)
+# and the gradiometer-rejects-ambush gate.
+array:
+	PYTHONPATH=src python -m repro array --json array-report.json
+	PYTHONPATH=src pytest benchmarks/bench_array.py --benchmark-only -s
 
 # Record a seeded sweep, replay it bit-exactly, then diff it through
 # the scalar, batch and instrumented paths; exit 15 on silent-wrong.

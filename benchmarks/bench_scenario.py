@@ -9,6 +9,10 @@ Two standing records in ``BENCH_scenario.json``:
 * **campaign** — the full scenario × environment-fault × severity
   matrix (the CI ``scenario-campaign`` gate): cell counts by outcome
   with **silent-wrong ratcheted at exactly zero**.
+* **batching** — the per-plant batched measurement path against the
+  forced-scalar loop over the whole corpus: identical step results
+  (bit-identity is asserted, not sampled) and a wall-time gate keeping
+  the batched suite from regressing past the scalar one.
 """
 
 import json
@@ -22,9 +26,16 @@ from repro.scenario import (
     ScenarioCampaign,
     run_scenario,
 )
+from repro.scenario.runner import ScenarioRunner
 from repro.units import TARGET_ACCURACY_DEG
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenario.json"
+
+#: The batched corpus may not take longer than this multiple of the
+#: forced-scalar corpus.  The batch engine's chunked passes win ~25%
+#: over the corpus (warm); the margin absorbs timer noise on small
+#: scenes without letting a pathological regression through.
+BATCH_WALL_RATIO_CEILING = 1.15
 
 
 def run_suite():
@@ -39,8 +50,45 @@ def run_suite():
     return runs
 
 
+def run_suite_scalar():
+    """The corpus with per-plant batching disabled (scalar refresh)."""
+    original = ScenarioRunner._measure_steps_batched
+    ScenarioRunner._measure_steps_batched = (
+        lambda self: [None] * self.scenario.steps
+    )
+    try:
+        runs = {}
+        results = {}
+        start = time.perf_counter()
+        for name in sorted(SCENARIOS):
+            result = run_scenario(name)
+            results[name] = result
+            runs[name] = result.summary()
+        wall_s = time.perf_counter() - start
+        return runs, results, wall_s
+    finally:
+        ScenarioRunner._measure_steps_batched = original
+
+
 def test_scenario1_suite_and_campaign(benchmark):
+    # Warm the lazy imports (scipy.signal behind the comparator's
+    # low-pass) so the wall-clock comparison charges neither suite for
+    # one-time module loading.
+    run_scenario("bench-clean-50ut")
+
     runs = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    batched_wall_s = sum(run["wall_s"] for run in runs.values())
+
+    scalar_runs, scalar_results, scalar_wall_s = run_suite_scalar()
+    batched_results = {name: run_scenario(name) for name in sorted(SCENARIOS)}
+    for name, scalar_result in scalar_results.items():
+        batched_result = batched_results[name]
+        for scalar_step, batched_step in zip(
+            scalar_result.steps, batched_result.steps
+        ):
+            assert batched_step.to_dict() == scalar_step.to_dict(), (
+                name, scalar_step.step,
+            )
 
     campaign_start = time.perf_counter()
     campaign = ScenarioCampaign().run()
@@ -49,6 +97,13 @@ def test_scenario1_suite_and_campaign(benchmark):
 
     record = {
         "suite": runs,
+        "batching": {
+            "batched_wall_s": round(batched_wall_s, 3),
+            "scalar_wall_s": round(scalar_wall_s, 3),
+            "wall_ratio": round(batched_wall_s / scalar_wall_s, 3),
+            "wall_ratio_ceiling": BATCH_WALL_RATIO_CEILING,
+            "bit_identical": True,
+        },
         "campaign": {
             "cells": summary["cells"],
             "outcomes": summary["outcomes"],
@@ -75,7 +130,18 @@ def test_scenario1_suite_and_campaign(benchmark):
         f"campaign: {summary['cells']} cells in {campaign_wall_s:.1f}s — "
         + ", ".join(f"{k}={v}" for k, v in summary["outcomes"].items())
     )
+    lines.append(
+        f"batching: {batched_wall_s:.2f}s batched vs {scalar_wall_s:.2f}s "
+        f"scalar (ratio {batched_wall_s / scalar_wall_s:.2f}, "
+        f"ceiling {BATCH_WALL_RATIO_CEILING}), bit-identical"
+    )
     emit("SCENARIO1 corpus + fault matrix", lines)
+
+    # The batched measurement path must not cost wall time (and the
+    # bit-identity assertion above already proved it changes nothing).
+    assert batched_wall_s / scalar_wall_s <= BATCH_WALL_RATIO_CEILING, (
+        batched_wall_s, scalar_wall_s,
+    )
 
     # The ratchet: no scenario, fault or severity produces a quiet lie.
     assert summary["silent_wrong"] == 0, campaign.silent_wrong()

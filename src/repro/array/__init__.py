@@ -1,0 +1,32 @@
+"""N-element gradiometer array compass (§ docs/array.md).
+
+The array layer turns N complete
+:class:`~repro.core.compass.IntegratedCompass` elements at a fixed
+:class:`ArrayGeometry` into one instrument: shared excitation
+scheduling across elements, per-element health screening, the same
+K-of-N heading vote the service uses, weighted-least-squares fusion of
+the surviving field vectors, and first-order gradiometer differencing
+that detects near-field disturbances the single-sensor chain can only
+flag by magnitude.
+"""
+
+from .device import (
+    ArrayCompass,
+    ArrayConfig,
+    ArrayMeasurement,
+    ElementReport,
+    F_ARRAY_GRADIENT,
+    F_ARRAY_REDUNDANCY,
+)
+from .geometry import ArrayGeometry, NearFieldSource
+
+__all__ = [
+    "ArrayCompass",
+    "ArrayConfig",
+    "ArrayGeometry",
+    "ArrayMeasurement",
+    "ElementReport",
+    "F_ARRAY_GRADIENT",
+    "F_ARRAY_REDUNDANCY",
+    "NearFieldSource",
+]

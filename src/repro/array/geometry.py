@@ -1,0 +1,203 @@
+"""Array geometry: where each element sits and how it is mounted.
+
+An :class:`ArrayGeometry` is pure configuration — a frozen,
+JSON-round-trippable record of N element positions [m] and mounting
+rotations [deg] in the array's body frame (x = body north, y = body
+east).  The geometry is what turns N identical two-axis fluxgate
+compasses into a *gradiometer*: the Earth field is common-mode across
+any realistic aperture, while a near-field source (a parked car, a
+steel door) falls off as 1/r³ and therefore disagrees from element to
+element.  :class:`NearFieldSource` models exactly that disturbance
+shape for scenarios and benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import wrap_degrees
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Frozen placement of N array elements in the body frame.
+
+    Attributes
+    ----------
+    positions_m:
+        ``(x, y)`` element positions [m]; x points to body north,
+        y to body east.
+    mounting_deg:
+        Mounting rotation of each element, degrees clockwise about the
+        vertical axis: an element mounted at ``+90`` reads a heading
+        90° above the body's.  Fusion subtracts these nominal values,
+        so only *errors* against them (``array.element_rotated``)
+        shift the fused heading.
+    """
+
+    positions_m: Tuple[Tuple[float, float], ...]
+    mounting_deg: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.positions_m) == 0:
+            raise ConfigurationError("an array needs at least one element")
+        if len(self.positions_m) != len(self.mounting_deg):
+            raise ConfigurationError(
+                f"{len(self.positions_m)} positions vs "
+                f"{len(self.mounting_deg)} mounting rotations"
+            )
+        for position in self.positions_m:
+            if len(position) != 2 or not all(
+                math.isfinite(c) for c in position
+            ):
+                raise ConfigurationError(
+                    f"element positions must be finite (x, y) pairs [m], "
+                    f"got {position!r}"
+                )
+        for angle in self.mounting_deg:
+            if not math.isfinite(angle):
+                raise ConfigurationError(
+                    f"mounting rotation must be finite, got {angle!r}"
+                )
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.positions_m)
+
+    def __len__(self) -> int:
+        return len(self.positions_m)
+
+    @property
+    def aperture_m(self) -> float:
+        """Largest pairwise element separation [m] (0 for N=1)."""
+        best = 0.0
+        for i, (xi, yi) in enumerate(self.positions_m):
+            for xj, yj in self.positions_m[i + 1 :]:
+                best = max(best, math.hypot(xi - xj, yi - yj))
+        return best
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def single(cls) -> "ArrayGeometry":
+        """The degenerate N=1 geometry: one element, identity mounting.
+
+        An array with this geometry is bit-identical to the bare
+        :class:`~repro.core.compass.IntegratedCompass` (asserted by
+        ``tests/test_array.py``).
+        """
+        return cls(positions_m=((0.0, 0.0),), mounting_deg=(0.0,))
+
+    @classmethod
+    def square(cls, side_m: float = 0.3) -> "ArrayGeometry":
+        """Four elements on the corners of a square, identity mounting.
+
+        The reference redundancy geometry: breakdown point 1 for the
+        K-of-N vote, and a ~``side_m``·√2 gradiometer baseline.
+        """
+        if side_m <= 0.0:
+            raise ConfigurationError("square side must be positive")
+        half = side_m / 2.0
+        return cls(
+            positions_m=(
+                (half, half),
+                (half, -half),
+                (-half, -half),
+                (-half, half),
+            ),
+            mounting_deg=(0.0, 0.0, 0.0, 0.0),
+        )
+
+    @classmethod
+    def linear(cls, n: int, spacing_m: float = 0.15) -> "ArrayGeometry":
+        """``n`` elements on the body-north axis, centred, identity mounting."""
+        if n < 1:
+            raise ConfigurationError("an array needs at least one element")
+        if n > 1 and spacing_m <= 0.0:
+            raise ConfigurationError("element spacing must be positive")
+        offset = (n - 1) / 2.0
+        return cls(
+            positions_m=tuple((spacing_m * (i - offset), 0.0) for i in range(n)),
+            mounting_deg=(0.0,) * n,
+        )
+
+    # -- JSON round trip -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, List]:
+        return {
+            "positions_m": [list(p) for p in self.positions_m],
+            "mounting_deg": list(self.mounting_deg),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Sequence]) -> "ArrayGeometry":
+        try:
+            positions = payload["positions_m"]
+            mounting = payload["mounting_deg"]
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"geometry payload needs 'positions_m' and 'mounting_deg': {exc}"
+            ) from exc
+        return cls(
+            positions_m=tuple(
+                (float(p[0]), float(p[1])) for p in positions
+            ),
+            mounting_deg=tuple(float(a) for a in mounting),
+        )
+
+
+@dataclass(frozen=True)
+class NearFieldSource:
+    """A parked magnetic disturbance at finite distance from the array.
+
+    The source contributes ``(delta_north_ut, delta_east_ut)`` [µT] at
+    the array origin and scales dipole-like as ``(distance / r)³`` at
+    each element — the 1/r³ falloff is what gives the disturbance a
+    *gradient* across the aperture while the Earth field stays
+    common-mode.  ``bearing_deg`` is the direction from the array
+    origin to the source in the body frame.
+    """
+
+    delta_north_ut: float
+    delta_east_ut: float
+    distance_m: float = 1.0
+    bearing_deg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0.0:
+            raise ConfigurationError("source distance must be positive")
+
+    @property
+    def magnitude_ut(self) -> float:
+        """Horizontal disturbance magnitude at the array origin [µT]."""
+        return math.hypot(self.delta_north_ut, self.delta_east_ut)
+
+    def deltas_at(
+        self, positions_m: Sequence[Tuple[float, float]]
+    ) -> List[Tuple[float, float]]:
+        """Per-element ``(delta_north, delta_east)`` [µT] contributions."""
+        bearing = math.radians(wrap_degrees(self.bearing_deg))
+        source = (
+            self.distance_m * math.cos(bearing),
+            self.distance_m * math.sin(bearing),
+        )
+        deltas: List[Tuple[float, float]] = []
+        for x, y in positions_m:
+            r = math.hypot(source[0] - x, source[1] - y)
+            if r <= 0.0:
+                raise ConfigurationError(
+                    "an array element sits exactly at the disturbance source"
+                )
+            scale = (self.distance_m / r) ** 3
+            deltas.append(
+                (self.delta_north_ut * scale, self.delta_east_ut * scale)
+            )
+        return deltas
+
+
+__all__ = ["ArrayGeometry", "NearFieldSource"]

@@ -7,9 +7,11 @@ bit-identical :class:`~repro.core.heading.HeadingMeasurement` records.
 """
 
 from .engine import BatchCompass, ExcitationTraceCache, MonteCarloResult, monte_carlo
+from .scene import BatchScene
 
 __all__ = [
     "BatchCompass",
+    "BatchScene",
     "ExcitationTraceCache",
     "MonteCarloResult",
     "monte_carlo",

@@ -50,6 +50,7 @@ from ..observe.trace import STAGE_MEASURE
 from ..sensors.fluxgate import FluxgateSensor
 from ..simulation.engine import TimeGrid
 from ..simulation.signals import TimeGradient, Trace
+from .scene import BatchScene
 
 
 @dataclass
@@ -149,12 +150,20 @@ class BatchCompass:
         the default of 12 (~3.5 MB per temporary at the default grid) is
         the measured sweet spot — both much larger and chunk-of-1 are
         slower.
+    cache:
+        Optional shared :class:`ExcitationTraceCache`.  Identically
+        configured devices produce identical excitation traces, so an
+        array of elements (or a pool of replicas) can hand every member
+        the same cache and pay for each trace once — that sharing *is*
+        the array's shared excitation scheduling.  ``None`` builds a
+        private cache, the pre-array behaviour.
     """
 
     def __init__(
         self,
         compass: Optional[object] = None,
         chunk_size: int = 12,
+        cache: Optional[ExcitationTraceCache] = None,
     ):
         if compass is None:
             compass = IntegratedCompass()
@@ -168,7 +177,7 @@ class BatchCompass:
             raise ConfigurationError("chunk_size must be >= 1")
         self.compass = compass
         self.chunk_size = chunk_size
-        self.cache = ExcitationTraceCache()
+        self.cache = cache if cache is not None else ExcitationTraceCache()
         self.cache.metrics = compass.observer.metrics
 
     # -- core batch measurement ------------------------------------------------
@@ -345,7 +354,19 @@ class BatchCompass:
             span.set(rows=int(h_values.size))
         return solved
 
-    # -- sweep APIs --------------------------------------------------------------
+    # -- scene / sweep APIs ------------------------------------------------------
+
+    def measure_scene(self, scene: BatchScene) -> List[HeadingMeasurement]:
+        """Measure one frozen :class:`~repro.batch.scene.BatchScene`.
+
+        The seam every bulk consumer shares (sweeps, the factory
+        turn-table, the service/fleet batch backend, the array): the
+        scene's rows go through :meth:`measure_components_batch`
+        unchanged, so results are bit-identical to the scalar
+        ``measure_components`` loop over the same rows.
+        """
+        h_x, h_y = scene.arrays()
+        return self.measure_components_batch(h_x, h_y)
 
     def sweep_headings(
         self,
@@ -362,17 +383,10 @@ class BatchCompass:
         """
         if headings_deg is None:
             headings_deg = headings_evenly_spaced(n_points, start_deg)
-        heading_array = np.asarray(headings_deg, dtype=float)
-        if heading_array.ndim != 1:
-            raise ConfigurationError("headings_deg must be a 1-D sequence of angles")
-        headings = [float(h) for h in heading_array]
-        h_x = np.empty(len(headings))
-        h_y = np.empty(len(headings))
-        for i, heading in enumerate(headings):
-            h_x[i], h_y[i] = self.compass.sensors.axis_fields_from_tesla(
-                field_magnitude_t, heading
-            )
-        return self.measure_components_batch(h_x, h_y)
+        scene = BatchScene.from_headings(
+            self.compass.sensors, headings_deg, field_magnitude_t
+        )
+        return self.measure_scene(scene)
 
     def sweep_magnitudes(
         self,
@@ -386,19 +400,11 @@ class BatchCompass:
         batch (magnitude-major order, matching the scalar nested loop),
         then are regrouped per magnitude.
         """
-        if len(magnitudes_t) == 0:
-            raise ConfigurationError("need at least one magnitude")
         headings = headings_evenly_spaced(n_headings, start_deg)
-        h_x = np.empty(len(magnitudes_t) * n_headings)
-        h_y = np.empty_like(h_x)
-        index = 0
-        for magnitude in magnitudes_t:
-            for heading in headings:
-                h_x[index], h_y[index] = self.compass.sensors.axis_fields_from_tesla(
-                    magnitude, heading
-                )
-                index += 1
-        measurements = self.measure_components_batch(h_x, h_y)
+        scene = BatchScene.from_magnitudes(
+            self.compass.sensors, magnitudes_t, headings
+        )
+        measurements = self.measure_scene(scene)
         grouped = []
         for i, magnitude in enumerate(magnitudes_t):
             grouped.append(

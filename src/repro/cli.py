@@ -30,6 +30,11 @@ Gives the library a bench-top feel without writing code:
 * ``fleet-soak`` — the deterministic fleet storm (chaos + RPS ramp past
   saturation); exits 17 (``SLOViolationError``) when an SLO gate
   breaks,
+* ``array`` — one fused measurement through the N-element gradiometer
+  array (``repro.array``): per-element screening/voting provenance,
+  the weighted-least-squares fusion and the gradiometer residual,
+  optionally against a near-field ambush; ``--strict`` turns a
+  gradient trip into a typed raise (exit 20, ``ArrayFusionError``),
 * ``record`` — run a seeded heading sweep with the replay recorder armed
   and write a self-checking ``.rplog`` capture (``repro.replay``),
 * ``replay`` — re-execute a recorded log bit-exactly (digital back-end
@@ -57,6 +62,7 @@ from .core.compass import IntegratedCompass
 from .core.power import PowerModel
 from .digital.display import DisplayMode
 from .errors import (
+    ArrayFusionError,
     CalibrationError,
     CircuitOpenError,
     ComplianceError,
@@ -102,6 +108,7 @@ EXIT_CODES = {
     EscapeError: 18,
     # EnvelopeError subclasses ScenarioError, so both exit 19.
     ScenarioError: 19,
+    ArrayFusionError: 20,
 }
 
 
@@ -634,6 +641,101 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0 if result.honest else 1
 
 
+def _geometry_for(args: argparse.Namespace):
+    from .array import ArrayGeometry
+
+    if args.geometry:
+        import json as _json
+
+        with open(args.geometry, encoding="utf-8") as handle:
+            return ArrayGeometry.from_dict(_json.load(handle))
+    if args.elements == 1:
+        return ArrayGeometry.single()
+    if args.elements == 4:
+        return ArrayGeometry.square()
+    return ArrayGeometry.linear(args.elements)
+
+
+def _cmd_array(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .array import ArrayCompass, ArrayConfig, NearFieldSource
+
+    geometry = _geometry_for(args)
+    array = ArrayCompass(ArrayConfig(geometry=geometry, strict=args.strict))
+    source = None
+    if args.ambush:
+        bearing = args.ambush_bearing
+        import math as _math
+
+        source = NearFieldSource(
+            delta_north_ut=args.ambush * _math.cos(_math.radians(bearing)),
+            delta_east_ut=args.ambush * _math.sin(_math.radians(bearing)),
+            distance_m=args.ambush_distance,
+            bearing_deg=bearing,
+        )
+    # A strict gradiometer trip raises ArrayFusionError -> exit 20.
+    fused = array.measure_world(args.heading, args.field, source=source)
+
+    print(f"geometry     : {array.n_elements} elements, "
+          f"aperture {geometry.aperture_m:.3f} m")
+    if source is not None:
+        print(f"ambush       : {source.magnitude_ut:.2f} uT at "
+              f"{source.distance_m:.2f} m, bearing {source.bearing_deg:.0f}")
+    for report in fused.elements:
+        heading = (f"{report.heading_deg:8.3f}"
+                   if report.heading_deg is not None else "       -")
+        residual = (f"{report.residual_fraction:.5f}"
+                    if report.residual_fraction is not None else "-")
+        detail = f"  {report.detail}" if report.detail else ""
+        print(f"  element {report.index}  {report.status:<8} "
+              f"heading {heading}  weight {report.weight:.3f}  "
+              f"residual {residual}{detail}")
+    flags = ",".join(fused.flags) if fused.flags else "-"
+    print(f"fused        : {fused.heading_deg:.3f} deg "
+          f"({fused.n_used}/{array.n_elements} elements)")
+    print(f"error        : {fused.error_against(args.heading):.3f} deg")
+    print(f"field        : {fused.field_a_per_m:.3f} A/m")
+    print(f"residual max : {fused.residual_max_fraction:.5f} "
+          f"(threshold {array.config.gradient_threshold})")
+    print(f"flags        : {flags}")
+    if args.json:
+        payload = {
+            "true_heading_deg": args.heading,
+            "field_ut": args.field,
+            "geometry": geometry.to_dict(),
+            "ambush_ut": source.magnitude_ut if source is not None else 0.0,
+            "fused": {
+                "heading_deg": fused.heading_deg,
+                "field_a_per_m": fused.field_a_per_m,
+                "error_deg": fused.error_against(args.heading),
+                "flags": list(fused.flags),
+                "n_used": fused.n_used,
+                "residual_max_fraction": fused.residual_max_fraction,
+            },
+            "elements": [
+                {
+                    "index": r.index,
+                    "status": r.status,
+                    "heading_deg": r.heading_deg,
+                    "field_a_per_m": r.field_a_per_m,
+                    "residual_fraction": r.residual_fraction,
+                    "weight": r.weight,
+                    "detail": r.detail,
+                }
+                for r in fused.elements
+            ],
+        }
+        text = _json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     from .core.compass import CompassConfig
     from .core.heading import headings_evenly_spaced
@@ -957,6 +1059,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the mission (or campaign) result as JSON")
     p.set_defaults(func=_cmd_scenario)
+
+    p = sub.add_parser(
+        "array",
+        help="one fused measurement through the gradiometer array",
+    )
+    p.add_argument("--heading", type=float, default=123.0,
+                   help="true body heading in degrees (default 123)")
+    p.add_argument("--field", type=float, default=50.0,
+                   help="Earth field magnitude in microtesla (default 50)")
+    p.add_argument("--elements", type=int, default=4,
+                   help="element count: 1 = the degenerate single-compass "
+                        "array, 4 = the reference square, otherwise a "
+                        "linear baseline (default 4)")
+    p.add_argument("--geometry", default=None, metavar="PATH",
+                   help="load an ArrayGeometry JSON declaration instead "
+                        "of --elements")
+    p.add_argument("--ambush", type=float, default=0.0, metavar="UT",
+                   help="park a near-field source of this magnitude [uT "
+                        "at the array origin] (default none)")
+    p.add_argument("--ambush-distance", type=float, default=1.0,
+                   help="source distance in metres (default 1.0)")
+    p.add_argument("--ambush-bearing", type=float, default=30.0,
+                   help="source bearing in body-frame degrees (default 30)")
+    p.add_argument("--strict", action="store_true",
+                   help="a gradiometer trip raises ArrayFusionError "
+                        "(exit 20) instead of flagging")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the fused report as JSON ('-' for stdout)")
+    p.set_defaults(func=_cmd_array)
 
     p = sub.add_parser(
         "record",

@@ -131,6 +131,21 @@ class EnvelopeError(ScenarioError):
     """
 
 
+class ArrayFusionError(ReproError):
+    """The sensor array could not fuse a heading it is willing to serve.
+
+    Raised by :mod:`repro.array` (and the ``array`` CLI verb, exit code
+    20) when least-squares fusion over the surviving elements is
+    impossible or untrustworthy: fewer healthy elements than the
+    configured minimum after health screening and K-of-N vote
+    rejection, or — in strict mode — a gradiometer residual above the
+    near-field threshold, meaning the elements disagree about the field
+    in a way a uniform Earth field cannot explain.  The array's
+    contract matches every other layer's: a heading the instrument
+    cannot defend is refused loudly, never served plausibly.
+    """
+
+
 class ServiceError(ReproError):
     """A request to the replicated :mod:`repro.service` layer failed.
 

@@ -30,7 +30,7 @@ import contextlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..batch import BatchCompass
+from ..batch import BatchCompass, BatchScene
 from ..btest.interconnect import SubstrateHarness, code_width
 from ..core.calibration import fit_ellipse_calibration
 from ..core.compass import IntegratedCompass
@@ -218,9 +218,10 @@ def _sweep(
     config: LotConfig,
 ) -> List[HeadingMeasurement]:
     if config.calibration_path == "batch":
-        return BatchCompass(compass).sweep_headings(
-            headings, config.field_magnitude_t
+        scene = BatchScene.from_headings(
+            compass.sensors, headings, config.field_magnitude_t
         )
+        return BatchCompass(compass).measure_scene(scene)
     return [
         compass.measure_heading(heading, config.field_magnitude_t)
         for heading in headings

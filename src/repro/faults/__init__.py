@@ -44,6 +44,11 @@ from .model import REGISTRY, FaultRegistry, FaultSpec, registered_faults
 # does not pull in repro.scenario).
 from . import environment as _environment  # noqa: F401  isort: skip
 
+# Populate the array layer (registration side effect; the injectors
+# duck-type the ArrayCompass seams, so this does not pull in
+# repro.array).
+from . import array as _array  # noqa: F401  isort: skip
+
 __all__ = [
     "CampaignCell",
     "CampaignResult",

@@ -1,0 +1,84 @@
+"""Array-layer faults: broken *elements* of an otherwise healthy array.
+
+The single-compass layers already sweep what breaks *inside* one signal
+chain.  This module injects what breaks *between* chains — one element
+of an :class:`~repro.array.ArrayCompass` dies outright, or twists in
+its mount so it reports a systematically rotated heading — and the
+campaign's ``array`` probe verifies the redundancy claim: a four-element
+array absorbs a single hard element loss **benignly** (unflagged fused
+heading, still within the 1° spec), and a twisted element is either
+voted out or caught by the gradiometer, never silently averaged in.
+
+Both injections use the same reversible ``_patched`` idiom as every
+other layer: ``element_dead`` opens the victim element's x excitation
+coil (DC resistance far beyond the §3.1 compliance limit, the same
+physics as ``sensor.open_excitation_coil``), ``element_rotated`` writes
+the array's ``mount_error_deg`` seam — the element is *actually*
+rotated while fusion keeps assuming the nominal geometry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Iterator
+
+from .model import REGISTRY, FaultSpec, _patched
+
+#: Which element the fault hits.  Any single index exercises the claim;
+#: a middle corner keeps the choice obviously arbitrary.
+VICTIM_ELEMENT = 2
+
+
+@contextlib.contextmanager
+def _inject_element_dead(array, severity: float) -> Iterator[None]:
+    """One element's x excitation coil opens: the element fails loudly."""
+    sensor = array.elements[VICTIM_ELEMENT].sensors.sensor_x
+    resistance = 800.0 + severity * 1.0e6
+    broken = dataclasses.replace(sensor.params, series_resistance=resistance)
+    with _patched(sensor, "params", broken):
+        yield
+
+
+@contextlib.contextmanager
+def _inject_element_rotated(array, severity: float) -> Iterator[None]:
+    """One element twists ``severity`` degrees against its mounting."""
+    errors = list(array.mount_error_deg)
+    errors[VICTIM_ELEMENT] += severity
+    with _patched(array, "mount_error_deg", tuple(errors)):
+        yield
+
+
+REGISTRY.register(
+    FaultSpec(
+        name="array.element_dead",
+        layer="array",
+        description="one array element's excitation coil opens (bond "
+        "failure): the element raises on every measurement and the "
+        "remaining three fuse an unflagged in-spec heading — the "
+        "redundancy claim, exercised",
+        severity_meaning="added series resistance [MΩ]",
+        severities=(1.0,),
+        expected=("benign",),
+        probe="array",
+        expected_detector="array",
+    ),
+    _inject_element_dead,
+)
+
+REGISTRY.register(
+    FaultSpec(
+        name="array.element_rotated",
+        layer="array",
+        description="one element twisted in its mount: below the vote "
+        "threshold the gradiometer flags the inconsistent field vector "
+        "(degraded), far beyond it the K-of-N vote rejects the element "
+        "outright and the fused heading stays benign",
+        severity_meaning="actual-vs-nominal mounting error [deg]",
+        severities=(2.0, 8.0),
+        expected=("degraded", "benign"),
+        probe="array",
+        expected_detector="array",
+    ),
+    _inject_element_rotated,
+)

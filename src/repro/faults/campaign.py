@@ -119,7 +119,7 @@ class CampaignCell:
     fault: str
     severity: float
     heading_deg: Optional[float]
-    path: str  # "scalar" | "batch" | "scan" | "scenario" | "scenario:<name>"
+    path: str  # "scalar" | "batch" | "scan" | "scenario" | "array"
     outcome: Outcome
     error_deg: Optional[float]
     detail: str
@@ -342,6 +342,46 @@ class FaultCampaign:
             self._cell(spec, severity, None, "scenario", outcome, error, detail)
         ]
 
+    def _run_array(self, spec: FaultSpec, severity: float) -> List[CampaignCell]:
+        """Array faults: inject into a four-element array and fuse the grid.
+
+        The cell classifications read straight off the fused
+        measurement: an unflagged in-spec fusion with a dead element is
+        the redundancy claim (*benign*), a gradiometer or redundancy
+        flag is *degraded*, an :class:`~repro.errors.ArrayFusionError`
+        is *detected*.
+        """
+        from ..array import ArrayCompass, ArrayConfig, ArrayGeometry
+
+        array = ArrayCompass(ArrayConfig(geometry=ArrayGeometry.square()))
+        # Clean warm-up, as on every measurement path.
+        array.measure_heading(self.headings_deg[0], self.field_magnitude_t)
+        cells = []
+        with self.registry.inject(spec.name, array, severity):
+            for truth in self.headings_deg:
+                try:
+                    fused = array.measure_heading(
+                        truth, self.field_magnitude_t
+                    )
+                except ReproError as exc:
+                    outcome = Outcome.DETECTED
+                    error, detail = None, f"{type(exc).__name__}: {exc}"
+                else:
+                    outcome, error, detail = classify_heading(
+                        fused.heading_deg,
+                        truth,
+                        fused.degraded,
+                        flags=fused.flags,
+                        tolerance_deg=self.tolerance_deg,
+                    )
+                    detail += (
+                        f" ({fused.n_used}/{array.n_elements} elements)"
+                    )
+                cells.append(
+                    self._cell(spec, severity, truth, "array", outcome, error, detail)
+                )
+        return cells
+
     def _run_scan(self, spec: FaultSpec, severity: float) -> List[CampaignCell]:
         harness = SubstrateHarness(build_compass_mcm())
         with self.registry.inject(spec.name, harness, severity):
@@ -409,6 +449,9 @@ class FaultCampaign:
                     result.cells.extend(
                         self._run_scenario_probe(spec, severity)
                     )
+                    continue
+                if spec.probe == "array":
+                    result.cells.extend(self._run_array(spec, severity))
                     continue
                 if "scalar" in self.paths:
                     result.cells.extend(self._run_scalar(spec, severity))

@@ -47,9 +47,12 @@ OUTCOME_TOKENS = ("detected", "degraded", "benign")
 
 #: Factory-stage tokens a spec may claim as its expected detector
 #: (see :mod:`repro.factory`): interconnect boundary scan, power-on
-#: BIST, the field calibration sweep, or the environment screen
-#: (a short :mod:`repro.scenario` run over temperature/tilt points).
-DETECTOR_STAGES = ("btest", "bist", "calibration", "env")
+#: BIST, the field calibration sweep, the environment screen (a short
+#: :mod:`repro.scenario` run over temperature/tilt points), or the
+#: array layer's own screening/vote/gradiometer machinery
+#: (:mod:`repro.array` — array faults are caught in service, not on a
+#: factory stage).
+DETECTOR_STAGES = ("btest", "bist", "calibration", "env", "array")
 
 #: An injector: (target, severity) -> context manager applying the fault.
 Injector = Callable[[object, float], ContextManager[None]]
@@ -64,8 +67,8 @@ class FaultSpec:
     name:
         Registry key, ``<layer>.<fault>``.
     layer:
-        ``"sensor"``, ``"analog"``, ``"digital"``, ``"scan"`` or
-        ``"environment"``.
+        ``"sensor"``, ``"analog"``, ``"digital"``, ``"scan"``,
+        ``"environment"`` or ``"array"``.
     description:
         What physically broke.
     severity_meaning:
@@ -81,7 +84,10 @@ class FaultSpec:
         ``"measurement"`` — inject into a compass and measure;
         ``"scan"`` — inject into a boundary-scan harness and diagnose;
         ``"scenario"`` — inject into a
-        :class:`~repro.scenario.ScenarioRunner` and run a mission.
+        :class:`~repro.scenario.ScenarioRunner` and run a mission;
+        ``"array"`` — inject into an
+        :class:`~repro.array.ArrayCompass` and measure the fused
+        heading over the heading grid.
     expected_detector:
         The factory test stage (``"btest"``, ``"bist"``,
         ``"calibration"`` or ``"env"``) that must catch this fault at
@@ -105,10 +111,10 @@ class FaultSpec:
 
     def __post_init__(self) -> None:
         if self.layer not in (
-            "sensor", "analog", "digital", "scan", "environment"
+            "sensor", "analog", "digital", "scan", "environment", "array"
         ):
             raise ConfigurationError(f"unknown fault layer {self.layer!r}")
-        if self.probe not in ("measurement", "scan", "scenario"):
+        if self.probe not in ("measurement", "scan", "scenario", "array"):
             raise ConfigurationError(f"unknown probe kind {self.probe!r}")
         if len(self.severities) == 0:
             raise ConfigurationError(f"{self.name}: need at least one severity")

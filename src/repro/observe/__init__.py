@@ -38,6 +38,10 @@ from .config import (
     FIELD_BUCKETS_UT,
     HEADING_BUCKETS,
     LATENCY_BUCKETS_S,
+    RESIDUAL_BUCKETS_FRACTION,
+    M_ARRAY_ELEMENTS,
+    M_ARRAY_FUSIONS,
+    M_ARRAY_RESIDUAL,
     M_BATCH_CHUNKS,
     M_BATCH_ROWS,
     M_BREAKER_STATE,
@@ -105,6 +109,10 @@ __all__ = [
     "HistogramState",
     "JSONLSink",
     "LATENCY_BUCKETS_S",
+    "RESIDUAL_BUCKETS_FRACTION",
+    "M_ARRAY_ELEMENTS",
+    "M_ARRAY_FUSIONS",
+    "M_ARRAY_RESIDUAL",
     "M_BATCH_CHUNKS",
     "M_BATCH_ROWS",
     "M_BREAKER_STATE",

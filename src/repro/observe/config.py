@@ -58,6 +58,9 @@ M_FACTORY_UNITS = "factory_units_total"            # {disposition}
 M_FACTORY_STAGE = "factory_stage_outcomes_total"   # {stage, outcome}
 M_SCENARIO_STEPS = "scenario_steps_total"          # {scenario, status}
 M_SCENARIO_GUARDS = "scenario_guard_flags_total"   # {scenario, flag}
+M_ARRAY_FUSIONS = "array_fusions_total"            # {status}
+M_ARRAY_ELEMENTS = "array_elements_total"          # {element, outcome}
+M_ARRAY_RESIDUAL = "array_gradiometer_residual"    # {} histogram
 
 #: Heading histogram buckets: the eight compass octants.
 HEADING_BUCKETS = (45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0, 360.0)
@@ -76,6 +79,12 @@ LATENCY_BUCKETS_S = (0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
 #: Vote-dissent buckets [deg]: quantisation-level disagreement between
 #: replica headings up to the outlier-rejection threshold and beyond.
 DISSENT_BUCKETS_DEG = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 15.0)
+#: Gradiometer-residual buckets (fraction of the fused field): counter
+#: quantisation noise, the near-field detection threshold region, and
+#: gross local disturbances.
+RESIDUAL_BUCKETS_FRACTION = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.2,
+)
 
 
 @dataclass(frozen=True)
@@ -206,6 +215,10 @@ __all__ = [
     "FIELD_BUCKETS_UT",
     "HEADING_BUCKETS",
     "LATENCY_BUCKETS_S",
+    "RESIDUAL_BUCKETS_FRACTION",
+    "M_ARRAY_ELEMENTS",
+    "M_ARRAY_FUSIONS",
+    "M_ARRAY_RESIDUAL",
     "M_BATCH_CHUNKS",
     "M_BATCH_ROWS",
     "M_BREAKER_STATE",

@@ -26,12 +26,16 @@ as opposed to what was fitted).
 Bit-identity contract
 ---------------------
 A scenario with ``field_override_ut`` set, no tilt, no iron, no anomaly
-and a constant 25 °C profile measures through
+and a constant 25 °C profile drives the exact
+``axis_fields_from_tesla`` → ``measure_components`` arithmetic of
 :meth:`~repro.core.compass.IntegratedCompass.measure_heading` on the
-*unmodified* base configuration — the exact code path the golden-vector
+*unmodified* base configuration — the code path the golden-vector
 suite pins — so :func:`~repro.scenario.dsl.bench_clean_scenario` is
 bit-identical to ``tests/golden/compass_vectors.json`` by construction,
-recorded or not.
+recorded or not.  Raw mission measurements are grouped per rounded-°C
+plant and batched through :meth:`~repro.batch.BatchCompass.measure_scene`
+(itself bit-identical per row to the scalar loop); recording runs stay
+scalar so the ``.rplog`` byte stream is unchanged.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..batch import BatchCompass, BatchScene
 from ..core.calibration import align_to_reference, fit_ellipse_calibration
 from ..core.compass import CompassConfig, IntegratedCompass
 from ..core.heading import HeadingMeasurement
@@ -331,20 +336,23 @@ class ScenarioRunner:
             down += anomaly.delta_down_ut * 1e-6
         return FieldVector(north=north, east=east, down=down)
 
-    def _measure(
+    def _components_for(
         self,
         compass: IntegratedCompass,
         magnetic_heading_deg: float,
         field: FieldVector,
         pitch_deg: float,
         roll_deg: float,
-    ) -> HeadingMeasurement:
-        """One raw measurement through the declared environment.
+    ) -> Tuple[float, float]:
+        """The axis-field components [A/m] one step drives into the plant.
 
-        The clean-override geometry (level, iron-free, pure horizontal
-        field) routes through ``measure_heading`` — the golden-vector
-        code path, preserving bit-identity; everything else goes through
-        the explicit body-frame field components.
+        The single source of the environment float arithmetic: the
+        scalar path feeds these components to ``measure_components`` and
+        the batched path stacks them into a
+        :class:`~repro.batch.BatchScene`, so both paths are bit-identical
+        by construction.  The clean-override geometry (level, iron-free,
+        pure horizontal field) reproduces ``measure_heading``'s own
+        ``axis_fields_from_tesla`` call — the golden-vector code path.
         """
         iron = self.scenario.iron
         if (
@@ -354,8 +362,8 @@ class ScenarioRunner:
             and roll_deg == 0.0
             and iron.is_identity
         ):
-            return compass.measure_heading(
-                magnetic_heading_deg, self.scenario.field_override_ut * 1e-6
+            return compass.sensors.axis_fields_from_tesla(
+                self.scenario.field_override_ut * 1e-6, magnetic_heading_deg
             )
         yaw = wrap_degrees(magnetic_heading_deg + self.declination_deg)
         bx, by, _ = body_field_components(
@@ -368,9 +376,68 @@ class ScenarioRunner:
             + (iron.y_gain - 1.0) * by
             + iron.hard_y_ut * 1e-6
         )
-        return compass.measure_components(
-            tesla_to_a_per_m(bx + dx), tesla_to_a_per_m(by + dy)
+        return tesla_to_a_per_m(bx + dx), tesla_to_a_per_m(by + dy)
+
+    def _measure(
+        self,
+        compass: IntegratedCompass,
+        magnetic_heading_deg: float,
+        field: FieldVector,
+        pitch_deg: float,
+        roll_deg: float,
+    ) -> HeadingMeasurement:
+        """One raw measurement through the declared environment (scalar)."""
+        h_x, h_y = self._components_for(
+            compass, magnetic_heading_deg, field, pitch_deg, roll_deg
         )
+        return compass.measure_components(h_x, h_y)
+
+    def _measure_steps_batched(
+        self,
+    ) -> List[Optional[HeadingMeasurement]]:
+        """All raw mission measurements, grouped per plant and batched.
+
+        Steps are grouped on the same rounded-°C key the plant cache
+        uses — one scene × one plant per temperature — and pushed
+        through :meth:`~repro.batch.BatchCompass.measure_scene`, which is
+        bit-identical per row to the scalar loop.  Grouping is
+        order-preserving within each plant, so a noisy front-end draws
+        its stream in the same per-compass order the scalar run would.
+        Recording runs never take this path: ``.rplog`` capture is pinned
+        to the scalar measurement sequence.
+
+        A group whose batch pass raises falls back to per-step scalar
+        measurement (``None`` rows signal the caller to measure
+        scalar so typed errors surface on the exact offending step).
+        """
+        scenario = self.scenario
+        grouped: Dict[int, List[Tuple[int, float, float]]] = {}
+        for step in range(scenario.steps):
+            truth = scenario.heading_at(step)
+            true_c = scenario.temperature.at(step)
+            pitch, roll = scenario.tilt.at(step, scenario.steps)
+            field = self._field_at_step(step)
+            compass = self._compass_at(true_c)
+            h_x, h_y = self._components_for(
+                compass, truth, field, pitch, roll
+            )
+            grouped.setdefault(round(true_c), []).append((step, h_x, h_y))
+        measurements: List[Optional[HeadingMeasurement]] = (
+            [None] * scenario.steps
+        )
+        for quantised, items in grouped.items():
+            compass = self._compasses[quantised]
+            scene = BatchScene.from_components(
+                [h_x for _, h_x, _ in items],
+                [h_y for _, _, h_y in items],
+            )
+            try:
+                rows = BatchCompass(compass).measure_scene(scene)
+            except Exception:
+                continue  # leave the rows None: scalar fallback per step
+            for (step, _, _), measurement in zip(items, rows):
+                measurements[step] = measurement
+        return measurements
 
     # -- chain construction ----------------------------------------------------
 
@@ -455,11 +522,20 @@ class ScenarioRunner:
         if scenario.mission is not None:
             reckoner = DeadReckoner(self.declination_deg)
             truth_reckoner = DeadReckoner(self.declination_deg)
+        # Raw measurements batch per plant unless this run records: the
+        # .rplog byte stream is pinned to the scalar per-step sequence.
+        raw: List[Optional[HeadingMeasurement]] = (
+            [None] * scenario.steps
+            if self._recorder is not None
+            else self._measure_steps_batched()
+        )
         results: List[StepResult] = []
         try:
             for step in range(scenario.steps):
                 results.append(
-                    self._run_step(step, chain, reckoner, truth_reckoner)
+                    self._run_step(
+                        step, chain, reckoner, truth_reckoner, raw[step]
+                    )
                 )
         finally:
             if self._recorder is not None:
@@ -481,6 +557,7 @@ class ScenarioRunner:
         chain: Optional[CompensationChain],
         reckoner: Optional[DeadReckoner],
         truth_reckoner: Optional[DeadReckoner],
+        measurement: Optional[HeadingMeasurement] = None,
     ) -> StepResult:
         scenario = self.scenario
         truth = scenario.heading_at(step)
@@ -488,8 +565,9 @@ class ScenarioRunner:
         pitch, roll = scenario.tilt.at(step, scenario.steps)
         field = self._field_at_step(step)
 
-        compass = self._compass_at(true_c)
-        measurement = self._measure(compass, truth, field, pitch, roll)
+        if measurement is None:
+            compass = self._compass_at(true_c)
+            measurement = self._measure(compass, truth, field, pitch, roll)
 
         sensed_c = self.telemetry.temperature_c(step, true_c)
         sensed_pitch, sensed_roll = self.telemetry.tilt_deg(

@@ -58,6 +58,7 @@ class CompassReplica:
         self._rng = rng
         #: Grey-failure hook: >1 slows every reply by that factor.
         self.latency_scale = 1.0
+        self._batch = None
 
     def attach_observer(self, observer: Observer) -> None:
         """Report this replica's spans/metrics into the service observer.
@@ -91,6 +92,20 @@ class CompassReplica:
         return self.compass.measure_heading(
             true_heading_deg, field_magnitude_t
         )
+
+    def batch(self):
+        """This replica's lazily built batch engine (shared front-end).
+
+        The :class:`~repro.batch.BatchCompass` wraps the *same* compass
+        instance, so interleaving scalar attempts and scene batches
+        keeps one noise stream — the bulk path's measurements stay
+        bit-identical to the scalar loop's.
+        """
+        if self._batch is None:
+            from ..batch import BatchCompass
+
+            self._batch = BatchCompass(self.compass)
+        return self._batch
 
 
 __all__ = ["CompassReplica", "OVERHEAD_FRACTION_RANGE", "replica_config"]

@@ -288,6 +288,160 @@ class HeadingService:
                 buckets=DISSENT_BUCKETS_DEG,
             ).observe(dissent_deg)
 
+    # -- the bulk scene path ---------------------------------------------------
+
+    def scene_for(
+        self,
+        headings_deg,
+        field_magnitude_t: float = 50.0e-6,
+    ):
+        """A :class:`~repro.batch.BatchScene` for this service's pool.
+
+        Rendered through replica 0's sensor pair; every replica shares
+        the same compass configuration (only the noise seed differs),
+        so the heading → axis-field conversion is bit-identical across
+        the pool.
+        """
+        from ..batch import BatchScene
+
+        return BatchScene.from_headings(
+            self.replicas[0].compass.sensors, headings_deg, field_magnitude_t
+        )
+
+    def measure_scene(self, scene) -> List[ServiceResponse]:
+        """Serve one frozen scene through every replica's batch engine.
+
+        The bulk counterpart of :meth:`measure_heading`: each replica
+        measures all rows in one batched pass (bit-identical per row to
+        its scalar measurement), then each row is voted exactly like a
+        scalar request.  Replicas run in parallel, so the scene costs
+        ``max`` rather than ``sum`` of the per-replica bulk latencies.
+
+        Resilience semantics are the scalar path's without retries: a
+        replica that raises during its batch is excluded from every
+        row's vote (its failure is one shared front-end, not one row),
+        a health-degraded row counts as a second-class vote, and a row
+        with fewer than ``quorum`` vote-eligible headings raises
+        :class:`~repro.errors.QuorumError`.
+        """
+        cfg = self.config
+        n_rows = len(scene)
+        if n_rows == 0:
+            return []
+        start = self.clock.now()
+        per_replica: List[Optional[List[HeadingMeasurement]]] = []
+        attempts: List[AttemptRecord] = []
+        bulk_latency = 0.0
+        with self.observer.span(
+            "service.scene", rows=n_rows, replicas=len(self.replicas)
+        ):
+            for replica in self.replicas:
+                latency = replica.draw_latency() * n_rows
+                outcome = "ok"
+                detail = ""
+                try:
+                    rows = replica.batch().measure_scene(scene)
+                except ReproError as error:
+                    rows = None
+                    outcome = "fault"
+                    detail = f"{type(error).__name__}: {error}"
+                    replica.breaker.record_failure()
+                else:
+                    replica.breaker.record_success()
+                per_replica.append(rows)
+                bulk_latency = max(bulk_latency, latency)
+                record = AttemptRecord(replica.name, 1, outcome, latency, detail)
+                attempts.append(record)
+                self._count_attempt(record)
+            self.clock.sleep(bulk_latency)
+        elapsed = self.clock.now() - start
+        responses: List[ServiceResponse] = []
+        for row in range(n_rows):
+            responses.append(
+                self._conclude_scene_row(
+                    row, per_replica, attempts, elapsed / n_rows
+                )
+            )
+        return responses
+
+    def _conclude_scene_row(
+        self,
+        row: int,
+        per_replica: List[Optional[List[HeadingMeasurement]]],
+        attempts: List[AttemptRecord],
+        elapsed_s: float,
+    ) -> ServiceResponse:
+        """Vote one scene row with the scalar path's verdict rules."""
+        cfg = self.config
+        healthy: List[Tuple[str, HeadingMeasurement]] = []
+        degraded: List[Tuple[str, HeadingMeasurement]] = []
+        flags: List[str] = []
+        for replica, rows in zip(self.replicas, per_replica):
+            if rows is None:
+                flags.append(f"{replica.name}: batch-fault")
+                continue
+            measurement = rows[row]
+            if measurement.degraded:
+                detail = ",".join(measurement.health.flags)
+                flags.append(f"{replica.name}: degraded: {detail}")
+                degraded.append((replica.name, measurement))
+            else:
+                healthy.append((replica.name, measurement))
+        second_class = False
+        voters = list(healthy)
+        if len(healthy) < cfg.quorum and degraded:
+            voters = healthy + degraded
+            second_class = True
+        if len(voters) < cfg.quorum:
+            raise QuorumError(
+                f"scene row {row}: collected {len(voters)} vote-eligible "
+                f"headings, quorum needs {cfg.quorum} "
+                f"(healthy {len(healthy)}, degraded {len(degraded)})"
+            )
+        vote = vote_headings(
+            [m.heading_deg for _, m in voters],
+            outlier_threshold_deg=cfg.vote_outlier_deg,
+            mad_scale=cfg.vote_mad_scale,
+        )
+        if len(vote.inliers) < cfg.quorum:
+            raise QuorumError(
+                f"scene row {row}: only {len(vote.inliers)} of "
+                f"{len(voters)} headings agree within "
+                f"{vote.threshold_deg:.2f} deg; quorum needs {cfg.quorum}"
+            )
+        for index in vote.outliers:
+            flags.append(
+                f"{voters[index][0]}: vote-outlier "
+                f"({voters[index][1].heading_deg:.2f} deg rejected)"
+            )
+        clean_sweep = (
+            len(healthy) == len(self.replicas)
+            and vote.unanimous
+            and not second_class
+        )
+        verdict = (
+            ServiceVerdict.AUTHORITATIVE
+            if clean_sweep
+            else ServiceVerdict.QUORUM_DEGRADED
+        )
+        field_estimates = [
+            voters[i][1].field_estimate_a_per_m for i in vote.inliers
+        ]
+        field_estimate = sorted(field_estimates)[len(field_estimates) // 2]
+        self._count_request(
+            verdict, len(self.replicas), elapsed_s, vote.dissent_deg
+        )
+        return ServiceResponse(
+            heading_deg=vote.heading_deg,
+            verdict=verdict,
+            field_estimate_a_per_m=field_estimate,
+            votes=tuple(m.heading_deg for _, m in voters),
+            vote=vote,
+            attempts=tuple(attempts),
+            elapsed_s=elapsed_s,
+            flags=tuple(flags),
+        )
+
     # -- the request loop ------------------------------------------------------
 
     def measure_heading(

@@ -197,5 +197,5 @@ class TestRegisteredFaultPopulation:
     def test_registry_covers_every_layer(self):
         layers = {spec.layer for spec in registered_faults()}
         assert layers == {
-            "sensor", "analog", "digital", "scan", "environment",
+            "sensor", "analog", "digital", "scan", "environment", "array",
         }
